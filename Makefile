@@ -1,0 +1,41 @@
+# Reproduction targets for "Anatomy and Performance of SSL Processing"
+# (ISPASS 2005). Everything is stdlib-only Go; no network needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE ./...
+
+# Regenerate every table and figure of the paper (plus the ablations).
+repro:
+	$(GO) run ./cmd/sslanatomy -experiment all -iterations 5
+
+# Refresh the committed raw results.
+results:
+	$(GO) run ./cmd/sslanatomy -experiment all -iterations 5 > docs/RESULTS.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking -sessions 10
+	$(GO) run ./examples/filetransfer -size 1048576
+	$(GO) run ./examples/bulktransfer -size 1048576
+	$(GO) run ./examples/webserver
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,171 @@
+// Command cryptospeed measures raw primitive throughput, in the
+// spirit of `openssl speed`: each primitive over a sweep of buffer
+// sizes, plus RSA sign/verify-style op rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sslperf/internal/aes"
+	"sslperf/internal/des"
+	"sslperf/internal/dh"
+	"sslperf/internal/hmacx"
+	"sslperf/internal/md5x"
+	"sslperf/internal/perf"
+	"sslperf/internal/rc4"
+	"sslperf/internal/rsa"
+	"sslperf/internal/sha1x"
+	"sslperf/internal/ssl"
+	"sslperf/internal/workload"
+)
+
+var sizes = []int{16, 64, 256, 1024, 8192}
+
+// speed measures MB/s for fn processing size-byte units for at least
+// dur of wall time.
+func speed(size int, dur time.Duration, fn func(data []byte)) float64 {
+	data := workload.Payload(size)
+	// Warm up.
+	fn(data)
+	var n int
+	start := time.Now()
+	for time.Since(start) < dur {
+		fn(data)
+		n++
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(n) * float64(size) / elapsed / 1e6
+}
+
+func main() {
+	var (
+		dur     = flag.Duration("duration", 200*time.Millisecond, "time per measurement point")
+		rsaBits = flag.Int("rsabits", 1024, "RSA key size")
+	)
+	flag.Parse()
+
+	type prim struct {
+		name string
+		fn   func(data []byte)
+	}
+	aesC, _ := aes.New(make([]byte, 16))
+	aes256, _ := aes.New(make([]byte, 32))
+	desC, _ := des.New(make([]byte, 8))
+	tdes, _ := des.NewTriple(make([]byte, 24))
+	rc4C, _ := rc4.New(make([]byte, 16))
+	buf := make([]byte, 16)
+	dbuf := make([]byte, 8)
+
+	prims := []prim{
+		{"aes-128", func(d []byte) {
+			for i := 0; i+16 <= len(d); i += 16 {
+				aesC.Encrypt(buf, d[i:i+16])
+			}
+		}},
+		{"aes-256", func(d []byte) {
+			for i := 0; i+16 <= len(d); i += 16 {
+				aes256.Encrypt(buf, d[i:i+16])
+			}
+		}},
+		{"des", func(d []byte) {
+			for i := 0; i+8 <= len(d); i += 8 {
+				desC.Encrypt(dbuf, d[i:i+8])
+			}
+		}},
+		{"3des", func(d []byte) {
+			for i := 0; i+8 <= len(d); i += 8 {
+				tdes.Encrypt(dbuf, d[i:i+8])
+			}
+		}},
+		{"rc4", func(d []byte) { rc4C.XORKeyStream(d, d) }},
+		{"md5", func(d []byte) { md5x.Sum16(d) }},
+		{"sha1", func(d []byte) { sha1x.Sum20(d) }},
+	}
+	hmacSHA1 := hmacx.NewSHA1(workload.Payload(20))
+	hmacMD5 := hmacx.NewMD5(workload.Payload(16))
+	prims = append(prims,
+		prim{"hmac-md5", func(d []byte) {
+			hmacMD5.Reset()
+			hmacMD5.Write(d)
+			hmacMD5.Sum(nil)
+		}},
+		prim{"hmac-sha1", func(d []byte) {
+			hmacSHA1.Reset()
+			hmacSHA1.Write(d)
+			hmacSHA1.Sum(nil)
+		}},
+	)
+
+	t := perf.NewTable("symmetric & hash throughput (MB/s)",
+		append([]string{"primitive"}, sizeHeaders()...)...)
+	for _, p := range prims {
+		row := []string{p.name}
+		for _, size := range sizes {
+			row = append(row, fmt.Sprintf("%.1f", speed(size, *dur, p.fn)))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+
+	// RSA op rates.
+	fmt.Printf("generating %d-bit RSA key...\n", *rsaBits)
+	key, err := rsa.GenerateKey(ssl.NewPRNG(1), *rsaBits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rnd := ssl.NewPRNG(2)
+	msg := make([]byte, 48)
+	ct, err := key.EncryptPKCS1(rnd, msg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	key.DecryptPKCS1(rnd, ct) // warm blinding
+	opRate := func(fn func()) float64 {
+		var n int
+		start := time.Now()
+		for time.Since(start) < *dur {
+			fn()
+			n++
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	priv := opRate(func() { key.DecryptPKCS1(rnd, ct) })
+	pub := opRate(func() { key.EncryptPKCS1(rnd, msg) })
+	rt := perf.NewTable("asymmetric op rates", "operation", "ops/s", "equivalent MB/s")
+	rt.AddRow("rsa private (decrypt)", fmt.Sprintf("%.1f", priv),
+		fmt.Sprintf("%.3f", priv*float64(key.Size())/1e6))
+	rt.AddRow("rsa public (encrypt)", fmt.Sprintf("%.1f", pub),
+		fmt.Sprintf("%.3f", pub*float64(key.Size())/1e6))
+
+	// Ephemeral DH (the DHE suites' per-handshake cost).
+	params := dh.Group1024()
+	ephemeral, err := dh.GenerateKey(ssl.NewPRNG(3), params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	peer, err := dh.GenerateKey(ssl.NewPRNG(4), params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rndDH := ssl.NewPRNG(5)
+	genRate := opRate(func() { dh.GenerateKey(rndDH, params) })
+	ssRate := opRate(func() { ephemeral.SharedSecret(peer.Y) })
+	rt.AddRow("dh-1024 generate", fmt.Sprintf("%.1f", genRate), "")
+	rt.AddRow("dh-1024 agree", fmt.Sprintf("%.1f", ssRate), "")
+	fmt.Println(rt)
+}
+
+func sizeHeaders() []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%dB", s)
+	}
+	return out
+}

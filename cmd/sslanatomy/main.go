@@ -1,0 +1,75 @@
+// Command sslanatomy regenerates the tables and figures of "Anatomy
+// and Performance of SSL Processing" (ISPASS 2005) on this
+// repository's from-scratch SSL stack.
+//
+// Usage:
+//
+//	sslanatomy -experiment table2      # one experiment
+//	sslanatomy -experiment all         # the whole evaluation
+//	sslanatomy -list                   # what's available
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sslperf/internal/core"
+	"sslperf/internal/perf"
+	"sslperf/internal/record"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (e.g. table2, fig3) or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		seed       = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		keyBits    = flag.Int("keybits", 1024, "server RSA key size")
+		iters      = flag.Int("iterations", 10, "measurement repetitions")
+		quick      = flag.Bool("quick", false, "reduced workloads (CI mode)")
+		ghz        = flag.Float64("ghz", 2.26, "model clock frequency for cycle conversion")
+		suiteName  = flag.String("suite", "", "cipher suite for protocol experiments (default DES-CBC3-SHA)")
+		useTLS     = flag.Bool("tls", false, "run protocol experiments over TLS 1.0 instead of SSL 3.0")
+	)
+	flag.Parse()
+	perf.ModelGHz = *ghz
+
+	if *list {
+		for _, e := range core.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	cfg := &core.Config{
+		Seed:       *seed,
+		KeyBits:    *keyBits,
+		Iterations: *iters,
+		Quick:      *quick,
+		SuiteName:  *suiteName,
+	}
+	if *useTLS {
+		cfg.Version = record.VersionTLS10
+	}
+
+	var exps []*core.Experiment
+	if *experiment == "all" {
+		exps = core.All()
+	} else {
+		e, err := core.ByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []*core.Experiment{e}
+	}
+
+	for _, e := range exps {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

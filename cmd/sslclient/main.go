@@ -1,0 +1,104 @@
+// Command sslclient drives HTTPS-like transactions against sslserver
+// (the curl analogue of the paper's client machine) and reports
+// handshake and transfer latencies, with optional session resumption.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/record"
+	"sslperf/internal/ssl"
+	"sslperf/internal/suite"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:4433", "server address")
+		n         = flag.Int("n", 10, "number of connections")
+		reqPerCon = flag.Int("requests", 1, "requests per connection")
+		resume    = flag.Bool("resume", false, "resume sessions after the first connection")
+		suiteName = flag.String("suite", "", "restrict to one cipher suite")
+		seed      = flag.Uint64("seed", 0, "PRNG seed (0 = time-based)")
+		useTLS    = flag.Bool("tls", false, "offer TLS 1.0 instead of SSL 3.0")
+	)
+	flag.Parse()
+
+	seedVal := *seed
+	if seedVal == 0 {
+		seedVal = uint64(time.Now().UnixNano())
+	}
+	cfg := &ssl.Config{Rand: ssl.NewPRNG(seedVal), InsecureSkipVerify: true}
+	if *useTLS {
+		cfg.Version = record.VersionTLS10
+	}
+	if *suiteName != "" {
+		s, err := suite.ByName(*suiteName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Suites = []suite.ID{s.ID}
+	}
+
+	var session *handshake.Session
+	var hsTotal, xferTotal time.Duration
+	var bytesTotal int
+	resumedCount := 0
+	for i := 0; i < *n; i++ {
+		tc, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		connCfg := *cfg
+		if *resume {
+			connCfg.Session = session
+		}
+		conn := ssl.ClientConn(tc, &connCfg)
+
+		start := time.Now()
+		if err := conn.Handshake(); err != nil {
+			log.Fatalf("handshake %d: %v", i, err)
+		}
+		hsTotal += time.Since(start)
+		state, _ := conn.ConnectionState()
+		if state.Resumed {
+			resumedCount++
+		}
+
+		r := bufio.NewReader(conn)
+		for j := 0; j < *reqPerCon; j++ {
+			start = time.Now()
+			if _, err := conn.Write([]byte("GET /\n")); err != nil {
+				log.Fatal(err)
+			}
+			line, err := r.ReadString('\n')
+			if err != nil {
+				log.Fatal(err)
+			}
+			size, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "LEN ")))
+			if err != nil {
+				log.Fatalf("bad response header %q", line)
+			}
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				log.Fatal(err)
+			}
+			xferTotal += time.Since(start)
+			bytesTotal += size
+		}
+		session, _ = conn.Session()
+		conn.Close()
+	}
+
+	fmt.Printf("connections: %d (%d resumed)\n", *n, resumedCount)
+	fmt.Printf("avg handshake: %v\n", hsTotal/time.Duration(*n))
+	fmt.Printf("avg transaction: %v\n", xferTotal/time.Duration(*n**reqPerCon))
+	fmt.Printf("payload bytes: %d\n", bytesTotal)
+}

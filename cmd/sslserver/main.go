@@ -1,0 +1,92 @@
+// Command sslserver serves a static payload over SSLv3 on TCP — the
+// measured half of the paper's web-server setup. Pair it with
+// sslclient to drive HTTPS-like transactions across real sockets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/record"
+	"sslperf/internal/ssl"
+	"sslperf/internal/suite"
+	"sslperf/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:4433", "listen address")
+		keyBits   = flag.Int("keybits", 1024, "RSA key size")
+		fileSize  = flag.Int("filesize", 1024, "response payload bytes")
+		suiteName = flag.String("suite", "", "restrict to one cipher suite (e.g. DES-CBC3-SHA)")
+		seed      = flag.Uint64("seed", 0, "PRNG seed (0 = time-based)")
+		ssl3Only  = flag.Bool("ssl3only", false, "refuse TLS 1.0 (SSL 3.0 only)")
+	)
+	flag.Parse()
+
+	seedVal := *seed
+	if seedVal == 0 {
+		seedVal = uint64(time.Now().UnixNano())
+	}
+	log.Printf("generating %d-bit identity...", *keyBits)
+	id, err := ssl.NewIdentity(ssl.NewPRNG(seedVal), *keyBits, "sslserver", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := &ssl.Config{
+		Rand:         ssl.NewPRNG(seedVal + 1),
+		Key:          id.Key,
+		CertDER:      id.CertDER,
+		SessionCache: handshake.NewSessionCache(4096),
+	}
+	if *suiteName != "" {
+		s, err := suite.ByName(*suiteName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Suites = []suite.ID{s.ID}
+	}
+	if *ssl3Only {
+		cfg.Version = record.VersionSSL30
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (%d-byte responses)", *addr, *fileSize)
+	payload := workload.Payload(*fileSize)
+	for {
+		tc, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go serve(tc, cfg, payload)
+	}
+}
+
+func serve(tc net.Conn, cfg *ssl.Config, payload []byte) {
+	conn := ssl.ServerConn(tc, cfg)
+	defer conn.Close()
+	if err := conn.Handshake(); err != nil {
+		log.Printf("%s: handshake: %v", tc.RemoteAddr(), err)
+		return
+	}
+	state, _ := conn.ConnectionState()
+	log.Printf("%s: %s resumed=%v", tc.RemoteAddr(), state.Suite.Name, state.Resumed)
+	buf := make([]byte, 4096)
+	for {
+		// One request (any read) -> one payload response.
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		hdr := fmt.Sprintf("LEN %d\n", len(payload))
+		if _, err := conn.Write(append([]byte(hdr), payload...)); err != nil {
+			return
+		}
+	}
+}

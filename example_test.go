@@ -1,0 +1,94 @@
+package sslperf_test
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sslperf"
+)
+
+// ExamplePipe shows the minimal end-to-end use of the library: an SSL
+// client and server over the in-memory transport the paper's
+// standalone measurements use.
+func ExamplePipe() {
+	id, err := sslperf.NewIdentity(sslperf.NewPRNG(1), 512, "example", time.Now())
+	if err != nil {
+		panic(err)
+	}
+	clientEnd, serverEnd := sslperf.Pipe()
+	client := sslperf.ClientConn(clientEnd, &sslperf.Config{
+		Rand:       sslperf.NewPRNG(2),
+		ServerName: "example",
+	})
+	server := sslperf.ServerConn(serverEnd, &sslperf.Config{
+		Rand:    sslperf.NewPRNG(3),
+		Key:     id.Key,
+		CertDER: id.CertDER,
+	})
+	go func() {
+		buf := make([]byte, 4)
+		io.ReadFull(server, buf)
+		server.Write(buf)
+	}()
+	client.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	io.ReadFull(client, buf)
+	fmt.Printf("%s\n", buf)
+	// Output: ping
+}
+
+// ExampleConn_SetAnatomy captures the Table 2 handshake anatomy of
+// one server-side handshake.
+func ExampleConn_SetAnatomy() {
+	id, err := sslperf.NewIdentity(sslperf.NewPRNG(4), 512, "anatomy", time.Now())
+	if err != nil {
+		panic(err)
+	}
+	clientEnd, serverEnd := sslperf.Pipe()
+	client := sslperf.ClientConn(clientEnd, &sslperf.Config{
+		Rand: sslperf.NewPRNG(5), InsecureSkipVerify: true,
+	})
+	server := sslperf.ServerConn(serverEnd, &sslperf.Config{
+		Rand: sslperf.NewPRNG(6), Key: id.Key, CertDER: id.CertDER,
+	})
+	anatomy := sslperf.NewAnatomy()
+	server.SetAnatomy(anatomy)
+	go client.Handshake()
+	if err := server.Handshake(); err != nil {
+		panic(err)
+	}
+	// Step 5 (get_client_kx) holds the RSA private decryption, the
+	// paper's dominant handshake cost.
+	for _, step := range anatomy.Steps {
+		if step.Name == "get_client_kx" {
+			fmt.Println(step.Index, step.Name, len(step.Crypto) > 0)
+		}
+	}
+	// Output: 5 get_client_kx true
+}
+
+// ExampleSuiteByName looks up the paper's cipher suite.
+func ExampleSuiteByName() {
+	s, err := sslperf.SuiteByName("DES-CBC3-SHA")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%#04x key=%dB mac=%dB\n", uint16(s.ID), s.KeyLen, s.MACLen())
+	// Output: 0x000a key=24B mac=20B
+}
+
+// ExampleExperimentByID runs one paper experiment (Table 4, the
+// static cipher-characteristics table).
+func ExampleExperimentByID() {
+	e, err := sslperf.ExperimentByID("table4")
+	if err != nil {
+		panic(err)
+	}
+	rep, err := e.Run(&sslperf.ExperimentConfig{Quick: true, KeyBits: 512})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.ID, len(rep.Tables) > 0)
+	// Output: table4 true
+}

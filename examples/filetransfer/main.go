@@ -1,0 +1,93 @@
+// Filetransfer: a secure file copy over TCP on localhost. The sender
+// listens, the receiver connects, and an arbitrary amount of data
+// flows through the SSLv3 record layer with integrity checking —
+// exercising fragmentation (16 KB records), CBC chaining across
+// records, and MAC verification on every fragment.
+//
+// Run with no arguments for a self-contained demo that transfers a
+// generated 4 MB file through the loopback interface and verifies it.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"sslperf/internal/sha1x"
+	"sslperf/internal/ssl"
+	"sslperf/internal/suite"
+	"sslperf/internal/workload"
+)
+
+func main() {
+	var (
+		size      = flag.Int("size", 4<<20, "bytes to transfer")
+		suiteName = flag.String("suite", "AES128-SHA", "cipher suite")
+	)
+	flag.Parse()
+
+	s, err := suite.ByName(*suiteName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := ssl.NewIdentity(ssl.NewPRNG(10), 1024, "filetransfer.example", time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+
+	file := workload.Payload(*size)
+	wantDigest := sha1x.Sum20(file)
+
+	// Sender.
+	go func() {
+		tc, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn := ssl.ServerConn(tc, id.ServerConfig(ssl.NewPRNG(11)))
+		defer conn.Close()
+		if _, err := conn.Write(file); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	// Receiver.
+	tc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := ssl.ClientConn(tc, &ssl.Config{
+		Rand:               ssl.NewPRNG(12),
+		Suites:             []suite.ID{s.ID},
+		InsecureSkipVerify: true,
+	})
+	defer conn.Close()
+
+	start := time.Now()
+	got, err := io.ReadAll(io.LimitReader(conn, int64(*size)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	gotDigest := sha1x.Sum20(got)
+	if !bytes.Equal(gotDigest[:], wantDigest[:]) {
+		log.Fatalf("transfer corrupted: digest mismatch")
+	}
+	state, _ := conn.ConnectionState()
+	fmt.Printf("transferred %d bytes over %s in %v (%.1f MB/s)\n",
+		len(got), state.Suite.Name, elapsed,
+		float64(len(got))/elapsed.Seconds()/1e6)
+	fmt.Printf("records read: %d, SHA-1 verified: %x...\n",
+		conn.Stats().RecordsRead, gotDigest[:8])
+}

@@ -1,0 +1,3 @@
+module sslperf
+
+go 1.22

@@ -1,0 +1,134 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func frags(n, size int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+func TestEngineSimOverlapBeatsSerial(t *testing.T) {
+	sim := DefaultEngineSim()
+	work := frags(100, 16384)
+	par, err := sim.Run(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := sim.SerialBaseline(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCycles >= ser.TotalCycles {
+		t.Fatalf("overlapped engine (%v cyc) not faster than serial (%v cyc)",
+			par.TotalCycles, ser.TotalCycles)
+	}
+	speedup := ser.TotalCycles / par.TotalCycles
+	// With ~balanced unit rates the overlap should approach the
+	// Figure 6 ideal of ~2x but cannot exceed it for 1+1 units.
+	if speedup < 1.2 || speedup > 2.0 {
+		t.Fatalf("1+1 unit speedup = %.2f, want (1.2, 2.0]", speedup)
+	}
+}
+
+func TestEngineSimScalesWithUnits(t *testing.T) {
+	work := frags(200, 4096)
+	var prev float64
+	for i, units := range []int{1, 2, 4} {
+		sim := DefaultEngineSim()
+		sim.AESUnits = units
+		sim.HashUnits = units
+		res, err := sim.Run(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.TotalCycles >= prev {
+			t.Fatalf("%d units (%.0f cyc) not faster than fewer (%.0f cyc)",
+				units, res.TotalCycles, prev)
+		}
+		prev = res.TotalCycles
+	}
+}
+
+func TestEngineSimUtilizationBounds(t *testing.T) {
+	sim := DefaultEngineSim()
+	sim.AESUnits = 2
+	sim.HashUnits = 2
+	res, err := sim.Run(frags(50, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, u := range map[string]float64{
+		"aes": res.AESUtilization, "hash": res.HashUtilization,
+	} {
+		if u <= 0 || u > 1 {
+			t.Fatalf("%s utilization = %v, want (0,1]", name, u)
+		}
+	}
+	if res.ThroughputMBps(1.0) <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestEngineSimValidation(t *testing.T) {
+	sim := DefaultEngineSim()
+	sim.AESUnits = 0
+	if _, err := sim.Run(frags(1, 100)); err == nil {
+		t.Fatal("accepted zero AES units")
+	}
+	sim = DefaultEngineSim()
+	if _, err := sim.Run([]int{-5}); err == nil {
+		t.Fatal("accepted negative fragment")
+	}
+	if _, err := sim.SerialBaseline([]int{-5}); err == nil {
+		t.Fatal("serial accepted negative fragment")
+	}
+}
+
+func TestEngineSimEmptyWorkload(t *testing.T) {
+	sim := DefaultEngineSim()
+	res, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != 0 || res.Bytes != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+	if res.ThroughputMBps(1.0) != 0 {
+		t.Fatal("empty throughput should be 0")
+	}
+}
+
+// Property: the overlapped engine is never slower than serial and
+// conservation holds (busy cycles <= makespan * units).
+func TestEngineSimProperties(t *testing.T) {
+	f := func(sizes []uint16, aesUnits, hashUnits uint8) bool {
+		sim := DefaultEngineSim()
+		sim.AESUnits = int(aesUnits%4) + 1
+		sim.HashUnits = int(hashUnits%4) + 1
+		work := make([]int, len(sizes))
+		for i, s := range sizes {
+			work[i] = int(s)
+		}
+		par, err := sim.Run(work)
+		if err != nil {
+			return false
+		}
+		ser, err := sim.SerialBaseline(work)
+		if err != nil {
+			return false
+		}
+		if len(work) > 0 && par.TotalCycles > ser.TotalCycles {
+			return false
+		}
+		return par.AESUtilization <= 1.0001 && par.HashUtilization <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

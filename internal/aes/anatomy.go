@@ -1,0 +1,96 @@
+package aes
+
+import (
+	"time"
+
+	"sslperf/internal/cipherinfo"
+	"sslperf/internal/perf"
+)
+
+// Part names for the Table 5 breakdown.
+const (
+	PartLoadAddKey = "map block to state, add initial round key"
+	PartMainRounds = "main rounds"
+	PartFinalRound = "last round, map state to bytes"
+)
+
+// ProfileBlockParts times the three parts of the AES block operation
+// over n blocks and returns the per-part breakdown (the paper's
+// Table 5). Parts are timed in batch — all part-1 work for n blocks,
+// then all part-2, then all part-3 — so timer overhead amortizes to
+// nothing while the work done is identical to n block encryptions.
+func (c *Cipher) ProfileBlockParts(n int) *perf.Breakdown {
+	b := perf.NewBreakdown()
+	states := make([]state, n)
+	src := make([]byte, BlockSize)
+	dst := make([]byte, BlockSize)
+
+	start := time.Now()
+	for i := range states {
+		c.encPart1(&states[i], src)
+	}
+	b.Add(PartLoadAddKey, time.Since(start))
+
+	start = time.Now()
+	for i := range states {
+		c.encPart2(&states[i])
+	}
+	b.Add(PartMainRounds, time.Since(start))
+
+	start = time.Now()
+	for i := range states {
+		c.encPart3(&states[i], dst)
+	}
+	b.Add(PartFinalRound, time.Since(start))
+	return b
+}
+
+// Characteristics returns the Table 4 row for AES.
+func Characteristics() cipherinfo.Characteristics {
+	return cipherinfo.Characteristics{
+		Name:        "AES",
+		BlockBits:   128,
+		KeyBits:     "128*", // also 192/256
+		KeySchedule: "44,32b",
+		Tables:      "4,256,32b",
+		Rounds:      "10",
+		Lookups:     16,
+	}
+}
+
+// TraceEncryptBlock emits the abstract operation stream of one AES
+// block encryption into tr, modeling the x86 code the paper traced:
+// per basic operation (one round-output word) the byte extractions
+// cost shifts and masks, the four table lookups are indexed loads,
+// and the combination is four XORs with the round key loaded from the
+// schedule; register pressure on x86 forces the state words through
+// memory, which is what puts movl on top of the paper's Table 12.
+func (c *Cipher) TraceEncryptBlock(tr *perf.Trace) {
+	mainRounds := uint64(c.nr - 1)
+	// Part 1: 4 loads (block) + 4 loads (rk) + 4 xor + 4 store (spill).
+	tr.Emit(perf.OpLoad, 8)
+	tr.Emit(perf.OpXor, 4)
+	tr.Emit(perf.OpStore, 4)
+	// Part 2: per round, per output word (4 words):
+	//   3 shifts + 4 ands (byte extraction; top byte needs no and,
+	//   bottom byte no shift — net 3+4 on x86 with movzx idioms),
+	//   4 table lookups, 4 xors + 1 round-key load + 1 xor,
+	//   1 state reload + 1 result spill (register pressure).
+	perWord := func(n uint64) {
+		tr.Emit(perf.OpShift, 3*n)
+		tr.Emit(perf.OpAnd, 4*n)
+		tr.Emit(perf.OpLookup, 4*n)
+		tr.Emit(perf.OpXor, 5*n)
+		tr.Emit(perf.OpLoad, 2*n)
+		tr.Emit(perf.OpStore, 1*n)
+	}
+	perWord(4 * mainRounds)
+	// Loop control per round.
+	tr.Emit(perf.OpAdd, mainRounds)
+	tr.Emit(perf.OpCmp, mainRounds)
+	tr.Emit(perf.OpBranch, mainRounds)
+	// Part 3: like one round but byte-wise S-box lookups and stores.
+	perWord(4)
+	tr.Emit(perf.OpStore, 4)
+	tr.Bytes += BlockSize
+}

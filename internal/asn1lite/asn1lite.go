@@ -1,0 +1,298 @@
+// Package asn1lite implements the subset of ASN.1 DER encoding and
+// decoding needed for X.509 certificates and PKCS#1 keys: the "X509
+// functions" whose cost appears in step 3 of the paper's Table 2.
+package asn1lite
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sslperf/internal/bn"
+)
+
+// Universal tag numbers used here.
+const (
+	TagBoolean         = 0x01
+	TagInteger         = 0x02
+	TagBitString       = 0x03
+	TagOctetString     = 0x04
+	TagNull            = 0x05
+	TagOID             = 0x06
+	TagUTF8String      = 0x0c
+	TagSequence        = 0x30 // constructed
+	TagSet             = 0x31 // constructed
+	TagPrintableString = 0x13
+	TagUTCTime         = 0x17
+)
+
+// encodeLength produces a DER length encoding.
+func encodeLength(n int) []byte {
+	if n < 0x80 {
+		return []byte{byte(n)}
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	out := make([]byte, 0, 1+len(tmp)-i)
+	out = append(out, 0x80|byte(len(tmp)-i))
+	return append(out, tmp[i:]...)
+}
+
+// EncodeTag wraps content in a TLV with the given tag byte.
+func EncodeTag(tag byte, content []byte) []byte {
+	out := make([]byte, 0, 2+len(content)+8)
+	out = append(out, tag)
+	out = append(out, encodeLength(len(content))...)
+	return append(out, content...)
+}
+
+// EncodeSequence concatenates the elements into a SEQUENCE.
+func EncodeSequence(elems ...[]byte) []byte {
+	var body []byte
+	for _, e := range elems {
+		body = append(body, e...)
+	}
+	return EncodeTag(TagSequence, body)
+}
+
+// EncodeSet concatenates the elements into a SET.
+func EncodeSet(elems ...[]byte) []byte {
+	var body []byte
+	for _, e := range elems {
+		body = append(body, e...)
+	}
+	return EncodeTag(TagSet, body)
+}
+
+// EncodeExplicit wraps content in a context-specific constructed tag
+// [n], as X.509 uses for version and extensions.
+func EncodeExplicit(n int, content []byte) []byte {
+	return EncodeTag(0xa0|byte(n), content)
+}
+
+// EncodeInteger encodes a non-negative big integer.
+func EncodeInteger(v *bn.Int) []byte {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	} else if b[0]&0x80 != 0 {
+		b = append([]byte{0}, b...) // keep it positive
+	}
+	return EncodeTag(TagInteger, b)
+}
+
+// EncodeInt encodes a small non-negative integer.
+func EncodeInt(v int64) []byte {
+	if v < 0 {
+		panic("asn1lite: negative integers unsupported")
+	}
+	return EncodeInteger(bn.NewInt(uint64(v)))
+}
+
+// EncodeOID encodes an object identifier from its arcs.
+func EncodeOID(arcs ...uint32) []byte {
+	if len(arcs) < 2 {
+		panic("asn1lite: OID needs at least two arcs")
+	}
+	body := []byte{byte(arcs[0]*40 + arcs[1])}
+	for _, arc := range arcs[2:] {
+		body = append(body, encodeBase128(arc)...)
+	}
+	return EncodeTag(TagOID, body)
+}
+
+func encodeBase128(v uint32) []byte {
+	var tmp [5]byte
+	i := len(tmp) - 1
+	tmp[i] = byte(v & 0x7f)
+	v >>= 7
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7f) | 0x80
+		v >>= 7
+	}
+	return tmp[i:]
+}
+
+// EncodeBitString encodes b as a BIT STRING with no unused bits.
+func EncodeBitString(b []byte) []byte {
+	return EncodeTag(TagBitString, append([]byte{0}, b...))
+}
+
+// EncodeOctetString encodes b as an OCTET STRING.
+func EncodeOctetString(b []byte) []byte { return EncodeTag(TagOctetString, b) }
+
+// EncodeNull encodes NULL.
+func EncodeNull() []byte { return []byte{TagNull, 0} }
+
+// EncodeBool encodes a BOOLEAN.
+func EncodeBool(v bool) []byte {
+	b := byte(0)
+	if v {
+		b = 0xff
+	}
+	return EncodeTag(TagBoolean, []byte{b})
+}
+
+// EncodePrintableString encodes s.
+func EncodePrintableString(s string) []byte {
+	return EncodeTag(TagPrintableString, []byte(s))
+}
+
+// EncodeUTCTime encodes t in the YYMMDDHHMMSSZ form X.509 v1 uses.
+func EncodeUTCTime(t time.Time) []byte {
+	u := t.UTC()
+	s := fmt.Sprintf("%02d%02d%02d%02d%02d%02dZ",
+		u.Year()%100, int(u.Month()), u.Day(), u.Hour(), u.Minute(), u.Second())
+	return EncodeTag(TagUTCTime, []byte(s))
+}
+
+// A Value is one parsed TLV.
+type Value struct {
+	Tag     byte
+	Content []byte
+	Raw     []byte // full TLV bytes
+}
+
+// Constructed reports whether the constructed bit is set.
+func (v Value) Constructed() bool { return v.Tag&0x20 != 0 }
+
+// Class returns the tag class bits (0 = universal, 2 = context).
+func (v Value) Class() int { return int(v.Tag >> 6) }
+
+// Parse reads one TLV from der, returning the value and the remaining
+// bytes.
+func Parse(der []byte) (Value, []byte, error) {
+	if len(der) < 2 {
+		return Value{}, nil, errors.New("asn1lite: truncated TLV")
+	}
+	tag := der[0]
+	if tag&0x1f == 0x1f {
+		return Value{}, nil, errors.New("asn1lite: multi-byte tags unsupported")
+	}
+	lenByte := der[1]
+	var length, hdr int
+	if lenByte < 0x80 {
+		length = int(lenByte)
+		hdr = 2
+	} else {
+		n := int(lenByte & 0x7f)
+		if n == 0 || n > 4 || len(der) < 2+n {
+			return Value{}, nil, errors.New("asn1lite: bad length encoding")
+		}
+		for i := 0; i < n; i++ {
+			length = length<<8 | int(der[2+i])
+		}
+		if length < 0x80 && n > 0 {
+			return Value{}, nil, errors.New("asn1lite: non-minimal length")
+		}
+		hdr = 2 + n
+	}
+	if len(der) < hdr+length {
+		return Value{}, nil, errors.New("asn1lite: content truncated")
+	}
+	return Value{
+		Tag:     tag,
+		Content: der[hdr : hdr+length],
+		Raw:     der[:hdr+length],
+	}, der[hdr+length:], nil
+}
+
+// Children parses the value's content as a list of TLVs (for
+// SEQUENCE/SET or any constructed value).
+func (v Value) Children() ([]Value, error) {
+	var out []Value
+	rest := v.Content
+	for len(rest) > 0 {
+		child, r, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, child)
+		rest = r
+	}
+	return out, nil
+}
+
+// Integer interprets the value as a non-negative INTEGER.
+func (v Value) Integer() (*bn.Int, error) {
+	if v.Tag != TagInteger {
+		return nil, fmt.Errorf("asn1lite: tag %#x is not INTEGER", v.Tag)
+	}
+	if len(v.Content) == 0 {
+		return nil, errors.New("asn1lite: empty INTEGER")
+	}
+	if v.Content[0]&0x80 != 0 {
+		return nil, errors.New("asn1lite: negative INTEGER unsupported")
+	}
+	return bn.New().SetBytes(v.Content), nil
+}
+
+// BitString returns the BIT STRING payload, requiring zero unused bits.
+func (v Value) BitString() ([]byte, error) {
+	if v.Tag != TagBitString {
+		return nil, fmt.Errorf("asn1lite: tag %#x is not BIT STRING", v.Tag)
+	}
+	if len(v.Content) == 0 || v.Content[0] != 0 {
+		return nil, errors.New("asn1lite: unsupported BIT STRING padding")
+	}
+	return v.Content[1:], nil
+}
+
+// OID returns the object identifier arcs.
+func (v Value) OID() ([]uint32, error) {
+	if v.Tag != TagOID {
+		return nil, fmt.Errorf("asn1lite: tag %#x is not OID", v.Tag)
+	}
+	if len(v.Content) == 0 {
+		return nil, errors.New("asn1lite: empty OID")
+	}
+	out := []uint32{uint32(v.Content[0]) / 40, uint32(v.Content[0]) % 40}
+	var cur uint32
+	for _, b := range v.Content[1:] {
+		cur = cur<<7 | uint32(b&0x7f)
+		if b&0x80 == 0 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	return out, nil
+}
+
+// String interprets PrintableString/UTF8String content.
+func (v Value) String() (string, error) {
+	if v.Tag != TagPrintableString && v.Tag != TagUTF8String {
+		return "", fmt.Errorf("asn1lite: tag %#x is not a string", v.Tag)
+	}
+	return string(v.Content), nil
+}
+
+// UTCTime parses a YYMMDDHHMMSSZ timestamp.
+func (v Value) UTCTime() (time.Time, error) {
+	if v.Tag != TagUTCTime {
+		return time.Time{}, fmt.Errorf("asn1lite: tag %#x is not UTCTime", v.Tag)
+	}
+	t, err := time.Parse("060102150405Z", string(v.Content))
+	if err != nil {
+		return time.Time{}, err
+	}
+	return t, nil
+}
+
+// OIDEqual compares two arc lists.
+func OIDEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

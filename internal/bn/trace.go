@@ -1,0 +1,98 @@
+package bn
+
+import "sslperf/internal/perf"
+
+// TraceMulAddWords emits the abstract operation stream of one
+// mulAddWords call into tr, reproducing the paper's Table 9: the
+// per-limb inner loop body of bn_mul_add_words compiled for a
+// register-starved 32-bit x86 is
+//
+//	movl 0x8(%ebx), %eax   ; load x[i]
+//	mull %ebp              ; widening multiply by y
+//	addl %esi, %eax        ; add carry (low)
+//	movl 0x8(%edi), %esi   ; load z[i]
+//	adcl $0x0, %edx        ; propagate carry (high)
+//	addl %esi, %eax        ; add z[i]
+//	adcl $0x0, %edx        ; propagate carry (high)
+//	movl %eax, 0x8(%edi)   ; store z[i]
+//	movl %edx, %esi        ; carry for next limb
+//
+// i.e. per limb: 2 loads, 1 store, 1 register move, 1 mul, 2 adds and
+// 2 adds-with-carry, plus the loop-control add/compare/branch.
+func TraceMulAddWords(tr *perf.Trace, limbs int) {
+	n := uint64(limbs)
+	tr.Emit(perf.OpLoad, 2*n)
+	tr.Emit(perf.OpStore, n)
+	tr.Emit(perf.OpMove, n)
+	tr.Emit(perf.OpMul, n)
+	tr.Emit(perf.OpAdd, 2*n)
+	tr.Emit(perf.OpAddC, 2*n)
+	// Loop control: counter update, compare, branch.
+	tr.Emit(perf.OpAdd, n)
+	tr.Emit(perf.OpCmp, n)
+	tr.Emit(perf.OpBranch, n)
+}
+
+// InnerLoopListing returns the per-limb instruction sequence of the
+// mul-add kernel as (mnemonic, role) pairs — the literal content of
+// the paper's Table 9.
+func InnerLoopListing() [][2]string {
+	return [][2]string{
+		{"movl 0x8(%ebx), %eax", "load x[i]"},
+		{"mull %ebp", "widening multiply by y"},
+		{"addl %esi, %eax", "add carry low"},
+		{"movl 0x8(%edi), %esi", "load z[i]"},
+		{"adcl $0x0, %edx", "carry into high half"},
+		{"addl %esi, %eax", "add z[i]"},
+		{"adcl $0x0, %edx", "carry into high half"},
+		{"movl %eax, 0x8(%edi)", "store z[i]"},
+		{"movl %edx, %esi", "carry to next limb"},
+	}
+}
+
+// TraceRSADecrypt emits the abstract operation stream of one RSA
+// private-key operation with an nbits modulus, performed with the
+// Chinese Remainder Theorem as OpenSSL (and this library's rsa
+// package) do: two exponentiations at half the modulus size with
+// half-size exponents, plus the recombination multiply.
+func TraceRSADecrypt(tr *perf.Trace, nbits int) {
+	half := nbits / 2
+	TraceModExp(tr, half, half)
+	TraceModExp(tr, half, half)
+	// Recombination: one half-size multiply + reduction, negligible
+	// next to the exponentiations but modeled for completeness.
+	limbs := (half + WordBits - 1) / WordBits
+	TraceMulAddWords(tr, limbs*limbs)
+}
+
+// TraceModExp emits the approximate abstract operation stream of a
+// full Montgomery modular exponentiation with nbits modulus and
+// exponent bits ebits into tr. It models the dominant cost — the
+// mul-add kernel invoked by every Montgomery multiply/square — plus
+// the subtract kernel for the conditional final subtraction. Used for
+// the RSA row of Tables 11 and 12.
+func TraceModExp(tr *perf.Trace, nbits, ebits int) {
+	limbs := (nbits + WordBits - 1) / WordBits
+	// One Montgomery multiplication = n limb-level mulAdd passes for
+	// the product + n passes for the reduction.
+	mulsPerMont := 2 * limbs
+	// Windowed exponentiation: ~ebits squarings + ebits/window
+	// multiplies + table build.
+	nMont := ebits + ebits/expWindow + (1 << expWindow)
+	totalPasses := nMont * mulsPerMont
+	TraceMulAddWords(tr, totalPasses*limbs)
+	// Conditional subtraction happens on roughly half the reductions:
+	// per limb, 2 loads, 1 store, 1 sub (add class), 1 borrow (adc class).
+	subLimbs := uint64(nMont/2) * uint64(limbs)
+	tr.Emit(perf.OpLoad, 2*subLimbs)
+	tr.Emit(perf.OpStore, subLimbs)
+	tr.Emit(perf.OpAdd, subLimbs)
+	tr.Emit(perf.OpAddC, subLimbs)
+	// Call/setup overhead per Montgomery op: pushes/pops modeled as
+	// load/store pairs plus branches.
+	ov := uint64(nMont)
+	tr.Emit(perf.OpLoad, 4*ov)
+	tr.Emit(perf.OpStore, 4*ov)
+	tr.Emit(perf.OpBranch, 2*ov)
+	tr.Emit(perf.OpCmp, ov)
+}

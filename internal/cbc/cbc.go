@@ -1,0 +1,98 @@
+// Package cbc implements cipher-block-chaining mode over any block
+// cipher. The paper highlights CBC's defining property: each
+// plaintext block is XORed with the previous ciphertext block before
+// encryption, creating a serial dependency that removes intra-message
+// parallelism — the reason the paper's crypto-engine sketch (Figure 6)
+// pipelines across the MAC rather than across blocks.
+package cbc
+
+import "errors"
+
+// Block is the block-cipher contract CBC chains over (the shape of
+// crypto/cipher.Block, implemented by the aes and des packages here).
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// Encrypter encrypts successive multiples of the block size in CBC
+// mode, carrying the IV across calls.
+type Encrypter struct {
+	b  Block
+	iv []byte
+}
+
+// Decrypter is the CBC decryption counterpart.
+type Decrypter struct {
+	b  Block
+	iv []byte
+}
+
+// NewEncrypter returns a CBC encrypter with the given IV, whose
+// length must equal the cipher's block size.
+func NewEncrypter(b Block, iv []byte) (*Encrypter, error) {
+	if len(iv) != b.BlockSize() {
+		return nil, errors.New("cbc: IV length must equal block size")
+	}
+	return &Encrypter{b: b, iv: append([]byte(nil), iv...)}, nil
+}
+
+// NewDecrypter returns a CBC decrypter with the given IV.
+func NewDecrypter(b Block, iv []byte) (*Decrypter, error) {
+	if len(iv) != b.BlockSize() {
+		return nil, errors.New("cbc: IV length must equal block size")
+	}
+	return &Decrypter{b: b, iv: append([]byte(nil), iv...)}, nil
+}
+
+// BlockSize returns the underlying cipher's block size.
+func (e *Encrypter) BlockSize() int { return e.b.BlockSize() }
+
+// BlockSize returns the underlying cipher's block size.
+func (d *Decrypter) BlockSize() int { return d.b.BlockSize() }
+
+// CryptBlocks encrypts src into dst (same length, a multiple of the
+// block size). dst may be src.
+func (e *Encrypter) CryptBlocks(dst, src []byte) {
+	bs := e.b.BlockSize()
+	if len(src)%bs != 0 || len(dst) < len(src) {
+		panic("cbc: input not full blocks or output too short")
+	}
+	prev := e.iv
+	for i := 0; i < len(src); i += bs {
+		for j := 0; j < bs; j++ {
+			dst[i+j] = src[i+j] ^ prev[j]
+		}
+		e.b.Encrypt(dst[i:i+bs], dst[i:i+bs])
+		prev = dst[i : i+bs]
+	}
+	copy(e.iv, prev)
+}
+
+// CryptBlocks decrypts src into dst (same length, a multiple of the
+// block size). dst may be src.
+func (d *Decrypter) CryptBlocks(dst, src []byte) {
+	bs := d.b.BlockSize()
+	if len(src)%bs != 0 || len(dst) < len(src) {
+		panic("cbc: input not full blocks or output too short")
+	}
+	if len(src) == 0 {
+		return
+	}
+	// Save each ciphertext block before it may be overwritten (dst
+	// may alias src), so in-place decryption chains correctly.
+	chain := d.iv
+	saved := make([]byte, bs)
+	next := make([]byte, bs)
+	for i := 0; i < len(src); i += bs {
+		copy(saved, src[i:i+bs])
+		d.b.Decrypt(dst[i:i+bs], src[i:i+bs])
+		for j := 0; j < bs; j++ {
+			dst[i+j] ^= chain[j]
+		}
+		saved, next = next, saved
+		chain = next
+	}
+	copy(d.iv, chain)
+}

@@ -1,0 +1,135 @@
+package cbc
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sslperf/internal/aes"
+	"sslperf/internal/des"
+)
+
+func TestAgainstStdlibAESCBC(t *testing.T) {
+	f := func(key [16]byte, iv [16]byte, nBlocks uint8) bool {
+		data := make([]byte, (int(nBlocks%16)+1)*16)
+		rand.New(rand.NewSource(int64(nBlocks))).Read(data)
+
+		ours, _ := aes.New(key[:])
+		enc, err := NewEncrypter(ours, iv[:])
+		if err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		enc.CryptBlocks(got, data)
+
+		std, _ := stdaes.NewCipher(key[:])
+		want := make([]byte, len(data))
+		cipher.NewCBCEncrypter(std, iv[:]).CryptBlocks(want, data)
+		if !bytes.Equal(got, want) {
+			return false
+		}
+
+		dec, _ := NewDecrypter(ours, iv[:])
+		back := make([]byte, len(got))
+		dec.CryptBlocks(back, got)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIVChainsAcrossCalls(t *testing.T) {
+	key := make([]byte, 24)
+	iv := make([]byte, 8)
+	block, _ := des.NewTriple(key)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// One call vs two calls must produce identical ciphertext.
+	e1, _ := NewEncrypter(block, iv)
+	whole := make([]byte, 64)
+	e1.CryptBlocks(whole, data)
+	e2, _ := NewEncrypter(block, iv)
+	parts := make([]byte, 64)
+	e2.CryptBlocks(parts[:24], data[:24])
+	e2.CryptBlocks(parts[24:], data[24:])
+	if !bytes.Equal(whole, parts) {
+		t.Fatal("split encryption differs")
+	}
+	// Same for decryption.
+	d1, _ := NewDecrypter(block, iv)
+	back := make([]byte, 64)
+	d1.CryptBlocks(back[:40], whole[:40])
+	d1.CryptBlocks(back[40:], whole[40:])
+	if !bytes.Equal(back, data) {
+		t.Fatal("split decryption differs")
+	}
+}
+
+func TestInPlace(t *testing.T) {
+	key := make([]byte, 16)
+	iv := make([]byte, 16)
+	block, _ := aes.New(key)
+	data := make([]byte, 48)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	e, _ := NewEncrypter(block, iv)
+	want := make([]byte, 48)
+	e.CryptBlocks(want, data)
+
+	e2, _ := NewEncrypter(block, iv)
+	buf := append([]byte{}, data...)
+	e2.CryptBlocks(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place encrypt differs")
+	}
+	d, _ := NewDecrypter(block, iv)
+	d.CryptBlocks(buf, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("in-place decrypt differs")
+	}
+}
+
+func TestRejectsBadIV(t *testing.T) {
+	block, _ := aes.New(make([]byte, 16))
+	if _, err := NewEncrypter(block, make([]byte, 8)); err == nil {
+		t.Error("accepted short IV")
+	}
+	if _, err := NewDecrypter(block, make([]byte, 17)); err == nil {
+		t.Error("accepted long IV")
+	}
+}
+
+func TestPanicsOnPartialBlock(t *testing.T) {
+	block, _ := aes.New(make([]byte, 16))
+	e, _ := NewEncrypter(block, make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on partial block")
+		}
+	}()
+	e.CryptBlocks(make([]byte, 15), make([]byte, 15))
+}
+
+func TestEmptyInput(t *testing.T) {
+	block, _ := aes.New(make([]byte, 16))
+	e, _ := NewEncrypter(block, make([]byte, 16))
+	d, _ := NewDecrypter(block, make([]byte, 16))
+	e.CryptBlocks(nil, nil) // must not panic
+	d.CryptBlocks(nil, nil)
+}
+
+func TestBlockSize(t *testing.T) {
+	a, _ := aes.New(make([]byte, 16))
+	e, _ := NewEncrypter(a, make([]byte, 16))
+	d, _ := NewDecrypter(a, make([]byte, 16))
+	if e.BlockSize() != 16 || d.BlockSize() != 16 {
+		t.Fatal("BlockSize wrong")
+	}
+}

@@ -1,0 +1,17 @@
+// Package cipherinfo defines the static cipher characteristics the
+// paper tabulates in Table 4: block and key sizes, key-schedule and
+// lookup-table shapes, round counts, and table lookups per block
+// operation.
+package cipherinfo
+
+// Characteristics describes one cipher's data structures, one row of
+// the paper's Table 4.
+type Characteristics struct {
+	Name        string
+	BlockBits   int    // block size in bits (8 for the RC4 byte unit)
+	KeyBits     string // key size, e.g. "128*" (AES also 192/256)
+	KeySchedule string // key schedule shape, e.g. "44,32b"
+	Tables      string // lookup tables, e.g. "4,256,32b"
+	Rounds      string // rounds per block op
+	Lookups     int    // table lookups per block op (excluding key schedule)
+}

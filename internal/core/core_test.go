@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() *Config { return &Config{Quick: true, KeyBits: 512} }
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	all := All()
+	want := []string{
+		"fig1", "table1", "fig2", "table2", "table3", "fig3", "table4",
+		"table5", "table6", "table7", "table8", "table9", "table10",
+		"table11", "table12", "fig4", "fig5", "fig6",
+		"ablation-mul", "ablation-resume", "ablation-kx",
+		"ablation-version", "ablation-latency",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d: %s", len(all), len(want), IDs())
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil || e.ID != "table2" {
+		t.Fatalf("ByID: %v", err)
+	}
+	if _, err := ByID("table99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment end-to-end in quick
+// mode — the whole paper reproduction in miniature.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := quickCfg()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report id %s", rep.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			out := rep.String()
+			if len(out) < 50 {
+				t.Fatalf("suspiciously short report:\n%s", out)
+			}
+			for _, tbl := range rep.Tables {
+				if tbl.NumRows() == 0 {
+					t.Fatalf("empty table %q", tbl.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestFig1TraceContainsProtocolFlow(t *testing.T) {
+	e, _ := ByID("fig1")
+	rep, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, msg := range []string{
+		"ClientHello", "ServerHello", "Certificate", "ServerHelloDone",
+		"ClientKeyExchange", "change_cipher_spec", "Finished",
+		"application_data",
+	} {
+		if !strings.Contains(out, msg) {
+			t.Errorf("trace missing %q:\n%s", msg, out)
+		}
+	}
+	// The paper's suite skips ServerKeyExchange.
+	if strings.Contains(out, "ServerKeyExchange") {
+		t.Error("trace contains ServerKeyExchange; RSA suites must skip it")
+	}
+}
+
+func TestTable2RSADominates(t *testing.T) {
+	cfg := quickCfg()
+	steps, total, err := runHandshakes(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kx *float64
+	for _, s := range steps {
+		if s.Name == "get_client_kx" {
+			v := float64(s.Elapsed)
+			kx = &v
+		}
+	}
+	if kx == nil {
+		t.Fatal("no get_client_kx step")
+	}
+	if *kx < 0.5*float64(total) {
+		t.Fatalf("get_client_kx = %.0f of %d; paper: ~92%%", *kx, total)
+	}
+}
+
+func TestTable4StaticContent(t *testing.T) {
+	e, _ := ByID("table4")
+	rep, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"128b", "3x16", "1,256,8b", "44,32b", "8,64,32b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable9Listing(t *testing.T) {
+	e, _ := ByID("table9")
+	rep, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"mull %ebp", "adcl", "widening multiply"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table9 missing %q", want)
+		}
+	}
+}
+
+func TestIdentityCached(t *testing.T) {
+	cfg := quickCfg()
+	a, err := identityFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := identityFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identity not cached")
+	}
+}

@@ -1,0 +1,115 @@
+// Package dh implements ephemeral Diffie-Hellman key agreement, the
+// other asymmetric algorithm the paper's background names alongside
+// RSA. DHE cipher suites exercise the ServerKeyExchange message that
+// the paper's RSA suites skip: the server generates an ephemeral
+// keypair, signs the parameters with its RSA key (so RSA "is used for
+// signing as well", as the paper puts it), and both sides derive the
+// pre-master secret from the shared value.
+package dh
+
+import (
+	"errors"
+	"io"
+
+	"sslperf/internal/bn"
+)
+
+// Params is a Diffie-Hellman group: an odd prime modulus P and a
+// generator G.
+type Params struct {
+	P *bn.Int
+	G *bn.Int
+}
+
+// Oakley Group 2 (RFC 2409 §6.2): the 1024-bit MODP group that
+// matches the paper's 1024-bit RSA operating point.
+var oakley2Hex = "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74" +
+	"020bbea63b139b22514a08798e3404ddef9519b3cd3a431b302b0a6df25f1437" +
+	"4fe1356d6d51c245e485b576625e7ec6f44c42e9a637ed6b0bff5cb6f406b7ed" +
+	"ee386bfb5a899fa5ae9f24117c4b1fe649286651ece65381ffffffffffffffff"
+
+// Group1024 returns the 1024-bit Oakley Group 2 parameters with
+// generator 2.
+func Group1024() *Params {
+	return &Params{P: bn.MustHex(oakley2Hex), G: bn.NewInt(2)}
+}
+
+// Validate checks the group's basic sanity.
+func (p *Params) Validate() error {
+	if p.P == nil || p.G == nil {
+		return errors.New("dh: nil parameters")
+	}
+	if !p.P.IsOdd() || p.P.BitLen() < 512 {
+		return errors.New("dh: modulus must be an odd prime of >= 512 bits")
+	}
+	one := bn.NewInt(1)
+	if p.G.Cmp(one) <= 0 || p.G.Cmp(p.P) >= 0 {
+		return errors.New("dh: generator out of range")
+	}
+	return nil
+}
+
+// KeyPair is an ephemeral DH key: private exponent X and public value
+// Y = G^X mod P.
+type KeyPair struct {
+	Params *Params
+	X      *bn.Int
+	Y      *bn.Int
+}
+
+// GenerateKey draws a fresh ephemeral keypair from rnd. The private
+// exponent is a full-width random value reduced into [2, P-2].
+func GenerateKey(rnd io.Reader, params *Params) (*KeyPair, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	pm2 := bn.New().SubWord(params.P, 2)
+	for {
+		x, err := bn.New().RandRange(rnd, pm2)
+		if err != nil {
+			return nil, err
+		}
+		if x.IsOne() {
+			continue
+		}
+		y := bn.New().ModExp(params.G, x, params.P)
+		if y.IsOne() || y.IsZero() {
+			continue // degenerate public value
+		}
+		return &KeyPair{Params: params, X: x, Y: y}, nil
+	}
+}
+
+// SharedSecret computes peerY^X mod P and returns it as the SSLv3
+// pre-master byte string (leading zero octets stripped, per the
+// TLS/SSL DH convention).
+func (k *KeyPair) SharedSecret(peerY *bn.Int) ([]byte, error) {
+	if err := validatePeer(k.Params, peerY); err != nil {
+		return nil, err
+	}
+	z := bn.New().ModExp(peerY, k.X, k.Params.P)
+	if z.IsZero() || z.IsOne() {
+		return nil, errors.New("dh: degenerate shared secret")
+	}
+	return z.Bytes(), nil
+}
+
+// validatePeer rejects out-of-range and small-subgroup public values.
+func validatePeer(params *Params, y *bn.Int) error {
+	one := bn.NewInt(1)
+	if y == nil || y.Cmp(one) <= 0 {
+		return errors.New("dh: peer public value too small")
+	}
+	pm1 := bn.New().Sub(params.P, one)
+	if y.Cmp(pm1) >= 0 {
+		return errors.New("dh: peer public value too large")
+	}
+	return nil
+}
+
+// Cleanse scrubs the private exponent.
+func (k *KeyPair) Cleanse() {
+	if k.X != nil {
+		k.X.Cleanse()
+	}
+}

@@ -1,0 +1,134 @@
+package dh
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"sslperf/internal/bn"
+)
+
+type randReader struct{ r *rand.Rand }
+
+func newRandReader(seed int64) *randReader {
+	return &randReader{r: rand.New(rand.NewSource(seed))}
+}
+
+func (rr *randReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(rr.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func TestGroup1024Sanity(t *testing.T) {
+	g := Group1024()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.P.BitLen() != 1024 {
+		t.Fatalf("modulus bits = %d", g.P.BitLen())
+	}
+	// The Oakley prime is prime (verified against math/big).
+	p := new(big.Int).SetBytes(g.P.Bytes())
+	if !p.ProbablyPrime(32) {
+		t.Fatal("Oakley group 2 modulus not prime?!")
+	}
+	// And a safe prime: (p-1)/2 is prime too.
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(16) {
+		t.Fatal("(p-1)/2 not prime")
+	}
+}
+
+func TestKeyAgreement(t *testing.T) {
+	params := Group1024()
+	rnd := newRandReader(1)
+	a, err := GenerateKey(rnd, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKey(rnd, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := a.SharedSecret(b.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.SharedSecret(a.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("shared secrets differ")
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty shared secret")
+	}
+}
+
+func TestAgainstMathBig(t *testing.T) {
+	params := Group1024()
+	rnd := newRandReader(2)
+	a, _ := GenerateKey(rnd, params)
+	b, _ := GenerateKey(rnd, params)
+	s, _ := a.SharedSecret(b.Y)
+	// Oracle: big.Int exponentiation.
+	p := new(big.Int).SetBytes(params.P.Bytes())
+	yb := new(big.Int).SetBytes(b.Y.Bytes())
+	xa := new(big.Int).SetBytes(a.X.Bytes())
+	want := new(big.Int).Exp(yb, xa, p)
+	if !bytes.Equal(s, want.Bytes()) {
+		t.Fatal("shared secret disagrees with math/big")
+	}
+}
+
+func TestRejectsDegeneratePeers(t *testing.T) {
+	params := Group1024()
+	a, _ := GenerateKey(newRandReader(3), params)
+	pm1 := bn.New().SubWord(params.P, 1)
+	for name, y := range map[string]*bn.Int{
+		"zero": bn.NewInt(0),
+		"one":  bn.NewInt(1),
+		"p-1":  pm1,
+		"p":    params.P,
+	} {
+		if _, err := a.SharedSecret(y); err == nil {
+			t.Errorf("accepted degenerate peer value %s", name)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []*Params{
+		{P: nil, G: nil},
+		{P: bn.NewInt(100), G: bn.NewInt(2)}, // even, tiny
+		{P: Group1024().P, G: bn.NewInt(1)},  // generator 1
+		{P: Group1024().P, G: Group1024().P}, // generator >= p
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDistinctKeysPerGeneration(t *testing.T) {
+	params := Group1024()
+	rnd := newRandReader(4)
+	a, _ := GenerateKey(rnd, params)
+	b, _ := GenerateKey(rnd, params)
+	if a.X.Equal(b.X) || a.Y.Equal(b.Y) {
+		t.Fatal("consecutive keypairs identical")
+	}
+}
+
+func TestCleanse(t *testing.T) {
+	a, _ := GenerateKey(newRandReader(5), Group1024())
+	a.Cleanse()
+	if !a.X.IsZero() {
+		t.Fatal("private exponent not scrubbed")
+	}
+}

@@ -1,0 +1,178 @@
+package handshake
+
+import (
+	"time"
+
+	"sslperf/internal/perf"
+)
+
+// Crypto function names used in step attributions, matching the
+// OpenSSL symbols of the paper's Table 2.
+const (
+	FnInitFinishedMac   = "init_finished_mac"
+	FnRandPseudoBytes   = "rand_pseudo_bytes"
+	FnFinishMac         = "finish_mac"
+	FnX509              = "X509 functions"
+	FnRSAPrivateDecrypt = "rsa_private_decryption"
+	FnGenMasterSecret   = "gen_master_secret"
+	FnGenKeyBlock       = "gen_key_block"
+	FnFinalFinishMac    = "final_finish_mac"
+	FnPriDecryption     = "pri_decryption"
+	FnMac               = "mac"
+	FnPriEncryption     = "pri_encryption"
+	// DHE-suite functions (ServerKeyExchange path).
+	FnDHGenerateKey = "dh_generate_key"
+	FnRSASign       = "rsa_sign"
+	FnDHComputeKey  = "dh_compute_key"
+)
+
+// A CryptoCall is one attributed crypto operation inside a step.
+type CryptoCall struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// A Step is one of the ten server handshake steps with its total
+// latency and the crypto calls it made — one row of Table 2.
+type Step struct {
+	Index   int
+	Name    string
+	Desc    string
+	Elapsed time.Duration
+	Crypto  []CryptoCall
+}
+
+// CryptoTotal sums the step's crypto-call time.
+func (s *Step) CryptoTotal() time.Duration {
+	var sum time.Duration
+	for _, c := range s.Crypto {
+		sum += c.Elapsed
+	}
+	return sum
+}
+
+// An Anatomy records the per-step, per-crypto-call timing of one
+// server handshake. A nil *Anatomy is a valid no-op recorder, so the
+// fast path costs one pointer test per hook.
+type Anatomy struct {
+	Steps []Step
+
+	stepStart time.Time
+	open      bool
+}
+
+// NewAnatomy returns an empty recorder.
+func NewAnatomy() *Anatomy { return &Anatomy{} }
+
+// startStep begins timing a step.
+func (a *Anatomy) startStep(index int, name, desc string) {
+	if a == nil {
+		return
+	}
+	a.endStep()
+	a.Steps = append(a.Steps, Step{Index: index, Name: name, Desc: desc})
+	a.stepStart = time.Now()
+	a.open = true
+}
+
+// endStep closes the current step, accumulating its wall time.
+func (a *Anatomy) endStep() {
+	if a == nil || !a.open {
+		return
+	}
+	cur := &a.Steps[len(a.Steps)-1]
+	cur.Elapsed += time.Since(a.stepStart)
+	a.open = false
+}
+
+// resumeStep continues timing the most recent step (used when a step
+// is interleaved with I/O waits that should not be charged).
+func (a *Anatomy) resumeStep() {
+	if a == nil || a.open || len(a.Steps) == 0 {
+		return
+	}
+	a.stepStart = time.Now()
+	a.open = true
+}
+
+// crypto times fn and attributes it to the named crypto function
+// within the current step.
+func (a *Anatomy) crypto(name string, fn func()) {
+	if a == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	if len(a.Steps) > 0 {
+		cur := &a.Steps[len(a.Steps)-1]
+		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
+	}
+}
+
+// cryptoErr is crypto for functions that can fail.
+func (a *Anatomy) cryptoErr(name string, fn func() error) error {
+	var err error
+	a.crypto(name, func() { err = fn() })
+	return err
+}
+
+// Total returns the summed step latency.
+func (a *Anatomy) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range a.Steps {
+		sum += s.Elapsed
+	}
+	return sum
+}
+
+// CryptoBreakdown aggregates crypto-call time by category — the
+// paper's Table 3: public key encryption, private key encryption,
+// hashing, and other crypto (randomness, X509, key derivation's
+// hashing is counted as hashing).
+func (a *Anatomy) CryptoBreakdown() *perf.Breakdown {
+	b := perf.NewBreakdown()
+	// Seed category order for stable output.
+	b.Add(CategoryPublic, 0)
+	b.Add(CategoryPrivate, 0)
+	b.Add(CategoryHash, 0)
+	b.Add(CategoryOther, 0)
+	for _, s := range a.Steps {
+		for _, c := range s.Crypto {
+			b.Add(categoryOf(c.Name), c.Elapsed)
+		}
+	}
+	return b
+}
+
+// Crypto-operation categories for Table 3.
+const (
+	CategoryPublic  = "public key encryption"
+	CategoryPrivate = "private key encryption"
+	CategoryHash    = "hash functions"
+	CategoryOther   = "other functions"
+)
+
+func categoryOf(fn string) string {
+	switch fn {
+	case FnRSAPrivateDecrypt, FnRSASign, FnDHGenerateKey, FnDHComputeKey:
+		return CategoryPublic
+	case FnPriDecryption, FnPriEncryption:
+		return CategoryPrivate
+	case FnFinishMac, FnFinalFinishMac, FnMac, FnGenMasterSecret,
+		FnGenKeyBlock, FnInitFinishedMac:
+		return CategoryHash
+	default:
+		return CategoryOther
+	}
+}
+
+// CryptoTotal sums all crypto-call time across steps.
+func (a *Anatomy) CryptoTotal() time.Duration {
+	var sum time.Duration
+	for _, s := range a.Steps {
+		sum += s.CryptoTotal()
+	}
+	return sum
+}

@@ -1,0 +1,373 @@
+package handshake
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sslperf/internal/dh"
+	"sslperf/internal/record"
+	"sslperf/internal/rsa"
+	"sslperf/internal/sslcrypto"
+	"sslperf/internal/suite"
+	"sslperf/internal/x509lite"
+)
+
+// ClientConfig holds the client-side handshake parameters.
+type ClientConfig struct {
+	Rand   io.Reader
+	Suites []suite.ID // offered suites in preference order; nil = all
+	Time   func() time.Time
+
+	// Version is the protocol version to offer: record.VersionSSL30
+	// (the default, the paper's protocol) or record.VersionTLS10.
+	Version uint16
+
+	// Session, when non-nil, is offered for resumption.
+	Session *Session
+
+	// RootCert, when non-nil, must have signed the server's
+	// certificate. When nil together with InsecureSkipVerify=false,
+	// the server certificate must be self-signed and valid.
+	RootCert *x509lite.Certificate
+
+	// InsecureSkipVerify disables certificate validation (the
+	// standalone-measurement configuration).
+	InsecureSkipVerify bool
+
+	// ServerName, when set, must match the certificate subject CN.
+	ServerName string
+}
+
+func (c *ClientConfig) version() uint16 {
+	if c.Version == 0 {
+		return record.VersionSSL30
+	}
+	return c.Version
+}
+
+func (c *ClientConfig) now() time.Time {
+	if c.Time != nil {
+		return c.Time()
+	}
+	return time.Now()
+}
+
+func (c *ClientConfig) offered() []suite.ID {
+	if c.Suites != nil {
+		return c.Suites
+	}
+	all := suite.All()
+	out := make([]suite.ID, len(all))
+	for i, s := range all {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Client runs the client side of the SSLv3 handshake over l, leaving
+// l armed with the negotiated bulk cipher in both directions.
+func Client(l *record.Layer, cfg *ClientConfig) (*Result, error) {
+	if cfg.Rand == nil {
+		return nil, errors.New("handshake: client needs a randomness source")
+	}
+	c := &clientState{layer: l, cfg: cfg, msgs: newMsgReader(l)}
+	res, err := c.run()
+	if err != nil {
+		l.SendAlert(record.AlertLevelFatal, record.AlertHandshakeFailure)
+		return nil, err
+	}
+	return res, nil
+}
+
+type clientState struct {
+	layer *record.Layer
+	cfg   *ClientConfig
+	msgs  *msgReader
+
+	fin          *sslcrypto.FinishedHash
+	version      uint16
+	clientRandom [RandomLen]byte
+	serverHello  serverHelloMsg
+	suite        *suite.Suite
+	master       []byte
+	keys         connKeys
+	resumed      bool
+}
+
+func (c *clientState) run() (*Result, error) {
+	c.fin = sslcrypto.NewFinishedHash()
+
+	// ClientHello offers the configured version; the record layer
+	// stays flexible until the ServerHello pins the negotiated one.
+	offered := c.cfg.version()
+	hello := clientHelloMsg{
+		version:      offered,
+		cipherSuites: c.cfg.offered(),
+		compressions: []byte{0},
+	}
+	if err := fillRandom(c.cfg.Rand, c.clientRandom[:], c.cfg.now()); err != nil {
+		return nil, err
+	}
+	hello.random = c.clientRandom
+	if c.cfg.Session != nil {
+		hello.sessionID = c.cfg.Session.ID
+	}
+	rawHello := hello.marshal()
+	c.fin.Write(rawHello)
+	if err := c.layer.WriteRecord(record.TypeHandshake, rawHello); err != nil {
+		return nil, err
+	}
+
+	// ServerHello.
+	msgType, raw, err := c.msgs.next()
+	if err != nil {
+		return nil, err
+	}
+	if msgType != typeServerHello {
+		return nil, fmt.Errorf("handshake: expected ServerHello, got type %d", msgType)
+	}
+	if err := c.serverHello.unmarshal(raw[4:]); err != nil {
+		return nil, err
+	}
+	c.fin.Write(raw)
+	if c.serverHello.version < record.VersionSSL30 || c.serverHello.version > offered {
+		return nil, fmt.Errorf("handshake: server version %#04x", c.serverHello.version)
+	}
+	c.version = c.serverHello.version
+	c.layer.SetProtocolVersion(c.version)
+	c.suite, err = suite.ByID(c.serverHello.cipherSuite)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resumption: the server echoes our offered session id.
+	if c.cfg.Session != nil && len(c.cfg.Session.ID) > 0 &&
+		bytes.Equal(c.serverHello.sessionID, c.cfg.Session.ID) {
+		c.resumed = true
+		c.master = append([]byte(nil), c.cfg.Session.Master...)
+		if c.suite.ID != c.cfg.Session.Suite {
+			return nil, errors.New("handshake: resumed session changed cipher suite")
+		}
+		if c.cfg.Session.Version != 0 && c.cfg.Session.Version != c.version {
+			return nil, errors.New("handshake: resumed session changed protocol version")
+		}
+		if err := c.finishResumed(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.finishFull(); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{
+		Suite:   c.suite,
+		Resumed: c.resumed,
+		Session: &Session{
+			ID:      append([]byte(nil), c.serverHello.sessionID...),
+			Suite:   c.suite.ID,
+			Master:  append([]byte(nil), c.master...),
+			Version: c.version,
+		},
+	}, nil
+}
+
+// finishFull handles certificate, key exchange, and the finished
+// exchange of a full handshake.
+func (c *clientState) finishFull() error {
+	// Certificate.
+	msgType, raw, err := c.msgs.next()
+	if err != nil {
+		return err
+	}
+	if msgType != typeCertificate {
+		return fmt.Errorf("handshake: expected Certificate, got type %d", msgType)
+	}
+	var certMsg certificateMsg
+	if err := certMsg.unmarshal(raw[4:]); err != nil {
+		return err
+	}
+	c.fin.Write(raw)
+	cert, err := x509lite.Parse(certMsg.certificates[0])
+	if err != nil {
+		return err
+	}
+	if err := c.verifyCert(cert, certMsg.certificates[1:]); err != nil {
+		return err
+	}
+
+	// For DHE suites the server sends its signed ephemeral
+	// parameters before ServerHelloDone.
+	var ske *serverKeyExchangeMsg
+	msgType, raw, err = c.msgs.next()
+	if err != nil {
+		return err
+	}
+	if c.suite.Kx == suite.KxDHERSA {
+		if msgType != typeServerKeyExchange {
+			return fmt.Errorf("handshake: expected ServerKeyExchange, got type %d", msgType)
+		}
+		ske = &serverKeyExchangeMsg{}
+		if err := ske.unmarshal(raw[4:]); err != nil {
+			return err
+		}
+		c.fin.Write(raw)
+		digest := skeDigest(c.clientRandom[:], c.serverHello.random[:], ske.paramBytes())
+		if err := cert.PublicKey.VerifyPKCS1(rsa.HashMD5SHA1, digest, ske.sig); err != nil {
+			return fmt.Errorf("handshake: ServerKeyExchange signature: %w", err)
+		}
+		if msgType, raw, err = c.msgs.next(); err != nil {
+			return err
+		}
+	}
+
+	// ServerHelloDone (certificate request is not sent: clients are
+	// not authenticated, as in the paper's setup).
+	if msgType != typeServerHelloDone {
+		return fmt.Errorf("handshake: expected ServerHelloDone, got type %d", msgType)
+	}
+	c.fin.Write(raw)
+
+	// ClientKeyExchange.
+	var preMaster []byte
+	var rawCkx []byte
+	if c.suite.Kx == suite.KxDHERSA {
+		params := &dh.Params{P: newIntFromBytes(ske.p), G: newIntFromBytes(ske.g)}
+		key, err := dh.GenerateKey(c.cfg.Rand, params)
+		if err != nil {
+			return err
+		}
+		preMaster, err = key.SharedSecret(newIntFromBytes(ske.y))
+		if err != nil {
+			return err
+		}
+		key.Cleanse()
+		ckx := clientDHPublicMsg{y: key.Y.Bytes()}
+		rawCkx = ckx.marshal()
+	} else {
+		// RSA: encrypt a fresh pre-master prefixed with the OFFERED
+		// version (the rollback check of SSLv3 §5.6.7).
+		preMaster = make([]byte, sslcrypto.PreMasterLen)
+		preMaster[0] = byte(c.cfg.version() >> 8)
+		preMaster[1] = byte(c.cfg.version())
+		if _, err := io.ReadFull(c.cfg.Rand, preMaster[2:]); err != nil {
+			return err
+		}
+		encrypted, err := cert.PublicKey.EncryptPKCS1(c.cfg.Rand, preMaster)
+		if err != nil {
+			return err
+		}
+		if c.version >= record.VersionTLS10 {
+			// TLS wraps the ciphertext in a 2-byte length.
+			rawCkx = marshalMsg(typeClientKeyExchange, appendOpaque16(nil, encrypted))
+		} else {
+			ckx := clientKeyExchangeMsg{encryptedPreMaster: encrypted}
+			rawCkx = ckx.marshal()
+		}
+	}
+	c.fin.Write(rawCkx)
+	if err := c.layer.WriteRecord(record.TypeHandshake, rawCkx); err != nil {
+		return err
+	}
+
+	c.master = deriveMaster(c.version, preMaster, c.clientRandom[:], c.serverHello.random[:])
+	for i := range preMaster {
+		preMaster[i] = 0
+	}
+	c.keys = sliceKeyBlock(c.version, c.suite, c.master, c.clientRandom[:], c.serverHello.random[:])
+
+	// CCS + client Finished under the new keys.
+	if err := c.sendCCSAndFinished(); err != nil {
+		return err
+	}
+	// Server CCS + Finished.
+	return c.readCCSAndFinished()
+}
+
+// finishResumed handles the short tail: server sends CCS+Finished
+// first, then the client responds.
+func (c *clientState) finishResumed() error {
+	c.keys = sliceKeyBlock(c.version, c.suite, c.master, c.clientRandom[:], c.serverHello.random[:])
+	if err := c.readCCSAndFinished(); err != nil {
+		return err
+	}
+	return c.sendCCSAndFinished()
+}
+
+// verifyCert validates the leaf and, when intermediates are present,
+// walks the chain: leaf signed by intermediates[0], each intermediate
+// signed by the next, the last signed by the trusted root.
+func (c *clientState) verifyCert(cert *x509lite.Certificate, intermediates [][]byte) error {
+	if c.cfg.InsecureSkipVerify {
+		return nil
+	}
+	now := c.cfg.now()
+	if !cert.ValidAt(now) {
+		return errors.New("handshake: server certificate expired or not yet valid")
+	}
+	if c.cfg.ServerName != "" && cert.SubjectCN != c.cfg.ServerName {
+		return fmt.Errorf("handshake: certificate CN %q does not match %q",
+			cert.SubjectCN, c.cfg.ServerName)
+	}
+	if c.cfg.RootCert == nil {
+		return cert.CheckSignature(cert.PublicKey) // self-signed
+	}
+	current := cert
+	for i, der := range intermediates {
+		inter, err := x509lite.Parse(der)
+		if err != nil {
+			return fmt.Errorf("handshake: intermediate %d: %w", i, err)
+		}
+		if !inter.ValidAt(now) {
+			return fmt.Errorf("handshake: intermediate %d expired", i)
+		}
+		if err := current.CheckSignatureFrom(inter); err != nil {
+			return fmt.Errorf("handshake: chain link %d: %w", i, err)
+		}
+		current = inter
+	}
+	return current.CheckSignatureFrom(c.cfg.RootCert)
+}
+
+func (c *clientState) sendCCSAndFinished() error {
+	if err := c.layer.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	if err := armWrite(c.version, c.layer, c.suite, c.keys.clientKey, c.keys.clientIV, c.keys.clientMAC); err != nil {
+		return err
+	}
+	verify := verifyDataFor(c.version, c.fin, true, c.master)
+	msg := finishedMsg{verify: verify}
+	raw := msg.marshal()
+	c.fin.Write(raw)
+	return c.layer.WriteRecord(record.TypeHandshake, raw)
+}
+
+func (c *clientState) readCCSAndFinished() error {
+	if err := c.msgs.readCCS(); err != nil {
+		return err
+	}
+	if err := armRead(c.version, c.layer, c.suite, c.keys.serverKey, c.keys.serverIV, c.keys.serverMAC); err != nil {
+		return err
+	}
+	expected := verifyDataFor(c.version, c.fin, false, c.master)
+	msgType, raw, err := c.msgs.next()
+	if err != nil {
+		return err
+	}
+	if msgType != typeFinished {
+		return fmt.Errorf("handshake: expected Finished, got type %d", msgType)
+	}
+	var fin finishedMsg
+	if err := fin.unmarshal(raw[4:], finishedLenFor(c.version)); err != nil {
+		return err
+	}
+	if !bytes.Equal(fin.verify, expected) {
+		return errors.New("handshake: server finished verification failed")
+	}
+	c.fin.Write(raw)
+	return nil
+}

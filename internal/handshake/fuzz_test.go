@@ -1,0 +1,127 @@
+package handshake
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The message unmarshalers face attacker-controlled bytes; none may
+// panic, whatever the input.
+
+func noPanic(t *testing.T, name string, fn func(body []byte) error) {
+	t.Helper()
+	check := func(body []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked on %x: %v", name, body, r)
+				ok = false
+			}
+		}()
+		fn(body) // error or nil both fine; panic is the failure
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Also hammer with structured-ish adversarial inputs: correct
+	// prefixes with corrupted length fields.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		body := make([]byte, r.Intn(200))
+		r.Read(body)
+		if len(body) > 2 {
+			body[r.Intn(len(body))] = 0xff // oversized length bytes
+		}
+		if !check(body) {
+			return
+		}
+	}
+}
+
+func TestUnmarshalersNeverPanic(t *testing.T) {
+	noPanic(t, "clientHello", func(b []byte) error {
+		var m clientHelloMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "serverHello", func(b []byte) error {
+		var m serverHelloMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "certificate", func(b []byte) error {
+		var m certificateMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "serverKeyExchange", func(b []byte) error {
+		var m serverKeyExchangeMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "clientKeyExchange", func(b []byte) error {
+		var m clientKeyExchangeMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "clientDHPublic", func(b []byte) error {
+		var m clientDHPublicMsg
+		return m.unmarshal(b)
+	})
+	noPanic(t, "finished36", func(b []byte) error {
+		var m finishedMsg
+		return m.unmarshal(b, 36)
+	})
+	noPanic(t, "finished12", func(b []byte) error {
+		var m finishedMsg
+		return m.unmarshal(b, 12)
+	})
+}
+
+// Round-trip property: marshal∘unmarshal is the identity for valid
+// ClientHello messages with arbitrary field contents.
+func TestClientHelloRoundTripProperty(t *testing.T) {
+	f := func(random [32]byte, idLen uint8, nSuites uint8) bool {
+		m := clientHelloMsg{
+			version:      0x0301,
+			sessionID:    make([]byte, int(idLen)%33),
+			compressions: []byte{0},
+		}
+		m.random = random
+		for i := 0; i < int(nSuites)%30+1; i++ {
+			m.cipherSuites = append(m.cipherSuites, 0x0a)
+		}
+		var got clientHelloMsg
+		if err := got.unmarshal(m.marshal()[4:]); err != nil {
+			return false
+		}
+		return got.version == m.version &&
+			len(got.sessionID) == len(m.sessionID) &&
+			len(got.cipherSuites) == len(m.cipherSuites) &&
+			got.random == m.random
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerKeyExchangeRoundTrip(t *testing.T) {
+	m := serverKeyExchangeMsg{
+		p:   make([]byte, 128),
+		g:   []byte{2},
+		y:   make([]byte, 128),
+		sig: make([]byte, 64),
+	}
+	for i := range m.p {
+		m.p[i] = byte(i + 1)
+	}
+	var got serverKeyExchangeMsg
+	if err := got.unmarshal(m.marshal()[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.p) != 128 || len(got.g) != 1 || len(got.y) != 128 || len(got.sig) != 64 {
+		t.Fatalf("fields: %d %d %d %d", len(got.p), len(got.g), len(got.y), len(got.sig))
+	}
+	// Trailing bytes rejected.
+	raw := m.marshal()
+	raw = append(raw, 0xcc)
+	if err := got.unmarshal(raw[4:]); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}

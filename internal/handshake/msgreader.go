@@ -1,0 +1,76 @@
+package handshake
+
+import (
+	"errors"
+	"fmt"
+
+	"sslperf/internal/record"
+)
+
+// msgReader assembles handshake messages from handshake-type records,
+// which may each carry several messages or a fraction of one.
+type msgReader struct {
+	layer *record.Layer
+	buf   []byte
+	// sawCCS is set when a ChangeCipherSpec record arrives while a
+	// handshake message was expected; the FSMs consume it explicitly.
+	sawCCS bool
+}
+
+func newMsgReader(l *record.Layer) *msgReader { return &msgReader{layer: l} }
+
+// fill reads records until at least n buffered handshake bytes are
+// available.
+func (r *msgReader) fill(n int) error {
+	for len(r.buf) < n {
+		typ, payload, err := r.layer.ReadRecord()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case record.TypeHandshake:
+			r.buf = append(r.buf, payload...)
+		case record.TypeChangeCipherSpec:
+			return errors.New("handshake: unexpected ChangeCipherSpec")
+		default:
+			return fmt.Errorf("handshake: unexpected %v record", typ)
+		}
+	}
+	return nil
+}
+
+// next returns the next handshake message: its type and full wire
+// bytes (header + body), which callers feed into the finished hash.
+func (r *msgReader) next() (byte, []byte, error) {
+	if err := r.fill(4); err != nil {
+		return 0, nil, err
+	}
+	bodyLen := int(r.buf[1])<<16 | int(r.buf[2])<<8 | int(r.buf[3])
+	if bodyLen > 1<<20 {
+		return 0, nil, fmt.Errorf("handshake: message of %d bytes is implausible", bodyLen)
+	}
+	if err := r.fill(4 + bodyLen); err != nil {
+		return 0, nil, err
+	}
+	raw := r.buf[:4+bodyLen]
+	msgType := raw[0]
+	out := append([]byte(nil), raw...)
+	r.buf = r.buf[4+bodyLen:]
+	return msgType, out, nil
+}
+
+// readCCS consumes a ChangeCipherSpec record. Any buffered handshake
+// bytes at this point mean the peer interleaved messages illegally.
+func (r *msgReader) readCCS() error {
+	if len(r.buf) != 0 {
+		return errors.New("handshake: data buffered across ChangeCipherSpec")
+	}
+	typ, payload, err := r.layer.ReadRecord()
+	if err != nil {
+		return err
+	}
+	if typ != record.TypeChangeCipherSpec || len(payload) != 1 || payload[0] != 1 {
+		return fmt.Errorf("handshake: expected ChangeCipherSpec, got %v", typ)
+	}
+	return nil
+}

@@ -1,0 +1,591 @@
+package handshake
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sslperf/internal/dh"
+	"sslperf/internal/record"
+	"sslperf/internal/rsa"
+	"sslperf/internal/sslcrypto"
+	"sslperf/internal/suite"
+)
+
+// ServerConfig holds the server-side handshake parameters.
+type ServerConfig struct {
+	Key     *rsa.PrivateKey // server RSA key (decrypts the CKE, signs DHE params)
+	CertDER []byte          // DER leaf certificate presented to clients
+	// Chain holds intermediate certificates (leaf's issuer first),
+	// sent after the leaf in the Certificate message.
+	Chain [][]byte
+	Rand    io.Reader       // randomness source
+	Cache   *SessionCache   // optional: enables session resumption
+	Suites  []suite.ID      // acceptable suites in preference order; nil = all
+	Time    func() time.Time
+	// DHParams is the group for DHE suites; defaults to the 1024-bit
+	// Oakley group 2.
+	DHParams *dh.Params
+	// MaxVersion caps the negotiated protocol version; 0 means
+	// TLS 1.0 (the server speaks both SSL 3.0 and TLS 1.0).
+	MaxVersion uint16
+}
+
+func (c *ServerConfig) maxVersion() uint16 {
+	if c.MaxVersion == 0 {
+		return record.VersionTLS10
+	}
+	return c.MaxVersion
+}
+
+func (c *ServerConfig) dhParams() *dh.Params {
+	if c.DHParams != nil {
+		return c.DHParams
+	}
+	return dh.Group1024()
+}
+
+func (c *ServerConfig) now() time.Time {
+	if c.Time != nil {
+		return c.Time()
+	}
+	return time.Now()
+}
+
+// Result reports the outcome of a completed handshake.
+type Result struct {
+	Suite   *suite.Suite
+	Session *Session
+	Resumed bool
+}
+
+// Server runs the server side of the SSLv3 handshake over l, leaving
+// l armed with the negotiated bulk cipher in both directions. When a
+// is non-nil it records the Table 2 step/crypto anatomy.
+func Server(l *record.Layer, cfg *ServerConfig, a *Anatomy) (*Result, error) {
+	if cfg.Key == nil || len(cfg.CertDER) == 0 {
+		return nil, errors.New("handshake: server needs a key and certificate")
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("handshake: server needs a randomness source")
+	}
+	s := &serverState{layer: l, cfg: cfg, a: a, msgs: newMsgReader(l)}
+	res, err := s.run()
+	if err != nil {
+		// Best effort: tell the peer before failing.
+		l.SendAlert(record.AlertLevelFatal, record.AlertHandshakeFailure)
+		return nil, err
+	}
+	return res, nil
+}
+
+type serverState struct {
+	layer *record.Layer
+	cfg   *ServerConfig
+	a     *Anatomy
+	msgs  *msgReader
+
+	fin          *sslcrypto.FinishedHash
+	version      uint16
+	clientHello  clientHelloMsg
+	serverRandom [RandomLen]byte
+	sessionID    []byte
+	suite        *suite.Suite
+	master       []byte
+	keys         connKeys
+	resumed      bool
+
+	// Pending connection states, built during gen_key_block (as
+	// OpenSSL's ssl3_change_cipher_state does) and installed when
+	// the ChangeCipherSpec messages fly.
+	inCipher, outCipher suite.RecordCipher
+	inMAC, outMAC       *sslcrypto.MAC
+
+	// dhKey is the server's ephemeral key for DHE suites.
+	dhKey *dh.KeyPair
+}
+
+// buildCipherStates derives the key block and constructs both
+// directions' cipher and MAC objects — the full gen_key_block work.
+func (s *serverState) buildCipherStates() error {
+	s.keys = sliceKeyBlock(s.version, s.suite, s.master, s.clientHello.random[:], s.serverRandom[:])
+	var err error
+	if s.inCipher, err = s.suite.NewCipher(s.keys.clientKey, s.keys.clientIV, false); err != nil {
+		return err
+	}
+	if s.inMAC, err = newVersionMAC(s.version, s.suite, s.keys.clientMAC); err != nil {
+		return err
+	}
+	if s.outCipher, err = s.suite.NewCipher(s.keys.serverKey, s.keys.serverIV, true); err != nil {
+		return err
+	}
+	s.outMAC, err = newVersionMAC(s.version, s.suite, s.keys.serverMAC)
+	return err
+}
+
+func (s *serverState) run() (*Result, error) {
+	// Step 0: init — internal data structures and the transcript
+	// hashes (init_finished_mac).
+	s.a.startStep(0, "init", "initialize states and variables")
+	s.a.crypto(FnInitFinishedMac, func() { s.fin = sslcrypto.NewFinishedHash() })
+	s.a.endStep()
+
+	// Step 1: get_client_hello — check version, get client random and
+	// session-id, choose a cipher, generate a new session id.
+	s.a.startStep(1, "get_client_hello", "check version, get client random, choose cipher")
+	if err := s.getClientHello(); err != nil {
+		s.a.endStep()
+		return nil, err
+	}
+	s.a.endStep()
+
+	// Step 2: send_server_hello.
+	s.a.startStep(2, "send_server_hello", "generate server random, send server hello")
+	if err := s.sendServerHello(); err != nil {
+		s.a.endStep()
+		return nil, err
+	}
+	s.a.endStep()
+
+	if s.resumed {
+		if err := s.runResumed(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := s.runFull(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 9: server_flush — scrub and cache.
+	s.a.startStep(9, "server_flush", "check state; flush internal buffers; end")
+	if s.cfg.Cache != nil && len(s.sessionID) > 0 {
+		s.cfg.Cache.Put(&Session{
+			ID:      append([]byte(nil), s.sessionID...),
+			Suite:   s.suite.ID,
+			Master:  append([]byte(nil), s.master...),
+			Version: s.version,
+		})
+	}
+	s.a.endStep()
+
+	return &Result{
+		Suite:   s.suite,
+		Resumed: s.resumed,
+		Session: &Session{
+			ID: s.sessionID, Suite: s.suite.ID,
+			Master: s.master, Version: s.version,
+		},
+	}, nil
+}
+
+// runFull performs steps 3–8 of a full (non-resumed) handshake.
+func (s *serverState) runFull() error {
+	// Step 3: send_server_cert. (For RSA suites the server key
+	// exchange and certificate request messages are skipped, as in
+	// the paper: the certificate's RSA key does the key exchange and
+	// clients are not authenticated. DHE suites send the signed
+	// ephemeral parameters right after the certificate.)
+	s.a.startStep(3, "send_server_cert", "send server certificate")
+	if err := s.sendCertificate(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	if s.suite.Kx == suite.KxDHERSA {
+		s.a.startStep(3, "send_server_kx", "generate ephemeral DH key, sign params, send")
+		if err := s.sendServerKeyExchange(); err != nil {
+			s.a.endStep()
+			return err
+		}
+		s.a.endStep()
+	}
+
+	// Step 4: send_server_done + buffer control.
+	s.a.startStep(4, "send_server_done", "send server done, flush, check client hello")
+	done := serverHelloDone()
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(done) })
+	if err := s.layer.WriteRecord(record.TypeHandshake, done); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	// Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
+	// master secret.
+	s.a.startStep(5, "get_client_kx", "rsa-decrypt pre-master, generate master key")
+	if err := s.getClientKeyExchange(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	// Step 6: read client ChangeCipherSpec, generate the key block,
+	// compute the expected client finished hashes, and verify the
+	// (first encrypted) client finished message.
+	s.a.startStep(6, "get_cipher_spec/get_finished",
+		"read client CCS, generate key block, verify client finished")
+	if err := s.readClientCCSAndFinished(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	// Step 7: send_cipher_spec.
+	s.a.startStep(7, "send_cipher_spec", "send server change cipher spec")
+	if err := s.sendCCS(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	// Step 8: send_finished — server finished hashes with 'SRVR'
+	// padding, MACed and encrypted under the new keys.
+	s.a.startStep(8, "send_finished", "calculate server finish hashes, mac, encrypt, send")
+	if err := s.sendFinished(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+	return nil
+}
+
+// runResumed performs the short resumed-session tail: the server
+// sends CCS+Finished first, then verifies the client's.
+func (s *serverState) runResumed() error {
+	s.a.startStep(6, "gen_key_block", "regenerate key block from cached master")
+	if err := s.a.cryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	s.a.startStep(7, "send_cipher_spec", "send server change cipher spec")
+	if err := s.sendCCS(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	s.a.startStep(8, "send_finished", "send server finished")
+	if err := s.sendFinished(); err != nil {
+		s.a.endStep()
+		return err
+	}
+	s.a.endStep()
+
+	s.a.startStep(6, "get_cipher_spec/get_finished", "read and verify client finished")
+	if err := s.msgs.readCCS(); err != nil {
+		return err
+	}
+	s.layer.SetReadState(s.inCipher, s.inMAC)
+	err := s.verifyClientFinished()
+	s.a.endStep()
+	return err
+}
+
+func (s *serverState) getClientHello() error {
+	msgType, raw, err := s.msgs.next()
+	if err != nil {
+		return err
+	}
+	if msgType != typeClientHello {
+		return fmt.Errorf("handshake: expected ClientHello, got type %d", msgType)
+	}
+	if err := s.clientHello.unmarshal(raw[4:]); err != nil {
+		return err
+	}
+	if s.clientHello.version < record.VersionSSL30 {
+		return fmt.Errorf("handshake: client version %#04x too old", s.clientHello.version)
+	}
+	s.version = s.clientHello.version
+	if max := s.cfg.maxVersion(); s.version > max {
+		s.version = max
+	}
+	s.layer.SetProtocolVersion(s.version)
+	// Absorb into the transcript (finish_mac).
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+
+	// Resumption probe.
+	if s.cfg.Cache != nil && len(s.clientHello.sessionID) > 0 {
+		if sess := s.cfg.Cache.Get(s.clientHello.sessionID); sess != nil && sess.Version == s.version {
+			if sessSuite, err := suite.ByID(sess.Suite); err == nil && s.offered(sess.Suite) {
+				s.resumed = true
+				s.suite = sessSuite
+				s.sessionID = append([]byte(nil), sess.ID...)
+				s.master = append([]byte(nil), sess.Master...)
+			}
+		}
+	}
+	if s.resumed {
+		return nil
+	}
+
+	// Choose a cipher from the offered list, honoring cfg.Suites.
+	offered := s.clientHello.cipherSuites
+	if s.cfg.Suites != nil {
+		var filtered []suite.ID
+		for _, want := range s.cfg.Suites {
+			for _, got := range offered {
+				if want == got {
+					filtered = append(filtered, want)
+				}
+			}
+		}
+		offered = filtered
+	}
+	chosen, err := suite.Choose(offered)
+	if err != nil {
+		return err
+	}
+	s.suite = chosen
+
+	// Generate a fresh session id (rand_pseudo_bytes).
+	s.sessionID = make([]byte, SessionIDLen)
+	return s.a.cryptoErr(FnRandPseudoBytes, func() error {
+		_, err := io.ReadFull(s.cfg.Rand, s.sessionID)
+		return err
+	})
+}
+
+// offered reports whether the client offered the given suite.
+func (s *serverState) offered(id suite.ID) bool {
+	for _, cs := range s.clientHello.cipherSuites {
+		if cs == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *serverState) sendServerHello() error {
+	if err := s.a.cryptoErr(FnRandPseudoBytes, func() error {
+		return fillRandom(s.cfg.Rand, s.serverRandom[:], s.cfg.now())
+	}); err != nil {
+		return err
+	}
+	hello := serverHelloMsg{
+		version:     s.version,
+		sessionID:   s.sessionID,
+		cipherSuite: s.suite.ID,
+	}
+	hello.random = s.serverRandom
+	raw := hello.marshal()
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	return s.layer.WriteRecord(record.TypeHandshake, raw)
+}
+
+func (s *serverState) sendCertificate() error {
+	var raw []byte
+	// Building the certificate message is the "X509 functions" cost
+	// of Table 2 step 3.
+	s.a.crypto(FnX509, func() {
+		certs := append([][]byte{s.cfg.CertDER}, s.cfg.Chain...)
+		msg := certificateMsg{certificates: certs}
+		raw = msg.marshal()
+	})
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	return s.layer.WriteRecord(record.TypeHandshake, raw)
+}
+
+// sendServerKeyExchange generates the ephemeral DH key, signs the
+// parameters with the server's RSA key, and sends the message.
+func (s *serverState) sendServerKeyExchange() error {
+	params := s.cfg.dhParams()
+	if err := s.a.cryptoErr(FnDHGenerateKey, func() error {
+		var err error
+		s.dhKey, err = dh.GenerateKey(s.cfg.Rand, params)
+		return err
+	}); err != nil {
+		return err
+	}
+	ske := serverKeyExchangeMsg{
+		p: params.P.Bytes(),
+		g: params.G.Bytes(),
+		y: s.dhKey.Y.Bytes(),
+	}
+	digest := skeDigest(s.clientHello.random[:], s.serverRandom[:], ske.paramBytes())
+	if err := s.a.cryptoErr(FnRSASign, func() error {
+		var err error
+		ske.sig, err = s.cfg.Key.SignPKCS1(rsa.HashMD5SHA1, digest)
+		return err
+	}); err != nil {
+		return err
+	}
+	raw := ske.marshal()
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	return s.layer.WriteRecord(record.TypeHandshake, raw)
+}
+
+func (s *serverState) getClientKeyExchange() error {
+	msgType, raw, err := s.msgs.next()
+	if err != nil {
+		return err
+	}
+	if msgType != typeClientKeyExchange {
+		return fmt.Errorf("handshake: expected ClientKeyExchange, got type %d", msgType)
+	}
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+
+	var preMaster []byte
+	if s.suite.Kx == suite.KxDHERSA {
+		var ckx clientDHPublicMsg
+		if err := ckx.unmarshal(raw[4:]); err != nil {
+			return err
+		}
+		if err := s.a.cryptoErr(FnDHComputeKey, func() error {
+			peerY := newIntFromBytes(ckx.y)
+			var err error
+			preMaster, err = s.dhKey.SharedSecret(peerY)
+			return err
+		}); err != nil {
+			return err
+		}
+		s.dhKey.Cleanse()
+	} else {
+		body := raw[4:]
+		if s.version >= record.VersionTLS10 {
+			inner, rest, err := readOpaque16(body)
+			if err != nil || len(rest) != 0 {
+				return errors.New("handshake: malformed TLS ClientKeyExchange")
+			}
+			body = inner
+		}
+		var ckx clientKeyExchangeMsg
+		if err := ckx.unmarshal(body); err != nil {
+			return err
+		}
+		if err := s.a.cryptoErr(FnRSAPrivateDecrypt, func() error {
+			var err error
+			preMaster, err = s.cfg.Key.DecryptPKCS1(s.cfg.Rand, ckx.encryptedPreMaster)
+			return err
+		}); err != nil {
+			return err
+		}
+		if len(preMaster) != sslcrypto.PreMasterLen {
+			return errors.New("handshake: pre-master has wrong length")
+		}
+		if uint16(preMaster[0])<<8|uint16(preMaster[1]) != s.clientHello.version {
+			return errors.New("handshake: pre-master version mismatch")
+		}
+	}
+	s.a.crypto(FnGenMasterSecret, func() {
+		s.master = deriveMaster(s.version, preMaster,
+			s.clientHello.random[:], s.serverRandom[:])
+	})
+	// Scrub the pre-master (the cleanup the paper notes in step 8/9).
+	for i := range preMaster {
+		preMaster[i] = 0
+	}
+	return nil
+}
+
+func (s *serverState) readClientCCSAndFinished() error {
+	if err := s.msgs.readCCS(); err != nil {
+		return err
+	}
+	// gen_key_block: derive the key block and build both directions'
+	// pending cipher states.
+	if err := s.a.cryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
+		return err
+	}
+	s.layer.SetReadState(s.inCipher, s.inMAC)
+	return s.verifyClientFinished()
+}
+
+// verifyClientFinished computes the expected client finished hashes
+// (final_finish_mac with 'CLNT'), reads the first encrypted message
+// (pri_decryption + mac via the record layer), and compares.
+func (s *serverState) verifyClientFinished() error {
+	var expected []byte
+	s.a.crypto(FnFinalFinishMac, func() {
+		expected = verifyDataFor(s.version, s.fin, true, s.master)
+	})
+
+	// Observe the record layer's decryption and MAC of the finished
+	// message so Table 2 can report pri_decryption and mac rows.
+	restore := s.observeLayer()
+	msgType, raw, err := s.msgs.next()
+	restore()
+	if err != nil {
+		return err
+	}
+	if msgType != typeFinished {
+		return fmt.Errorf("handshake: expected Finished, got type %d", msgType)
+	}
+	var fin finishedMsg
+	if err := fin.unmarshal(raw[4:], finishedLenFor(s.version)); err != nil {
+		return err
+	}
+	if !bytes.Equal(fin.verify, expected) {
+		return errors.New("handshake: client finished verification failed")
+	}
+	// The client's finished message joins the transcript for the
+	// server's own finished hash.
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	return nil
+}
+
+func (s *serverState) sendCCS() error {
+	if err := s.layer.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+		return err
+	}
+	s.layer.SetWriteState(s.outCipher, s.outMAC)
+	return nil
+}
+
+func (s *serverState) sendFinished() error {
+	var verify []byte
+	s.a.crypto(FnFinalFinishMac, func() {
+		verify = verifyDataFor(s.version, s.fin, false, s.master)
+	})
+	msg := finishedMsg{verify: verify}
+	raw := msg.marshal()
+	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	restore := s.observeLayer()
+	err := s.layer.WriteRecord(record.TypeHandshake, raw)
+	restore()
+	return err
+}
+
+// observeLayer temporarily routes record-layer crypto timings into
+// the anatomy's current step with the paper's row names. The returned
+// function restores the previous observer.
+func (s *serverState) observeLayer() func() {
+	if s.a == nil {
+		return func() {}
+	}
+	prev := s.layer.OnCrypto
+	s.layer.OnCrypto = func(op record.CryptoOp, n int, d time.Duration) {
+		if len(s.a.Steps) == 0 {
+			return
+		}
+		cur := &s.a.Steps[len(s.a.Steps)-1]
+		name := FnMac
+		if op == record.OpCipherDecrypt {
+			name = FnPriDecryption
+		} else if op == record.OpCipherEncrypt {
+			name = FnPriEncryption
+		}
+		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
+	}
+	return func() { s.layer.OnCrypto = prev }
+}
+
+// fillRandom fills buf with a 4-byte timestamp followed by random
+// bytes, the SSLv3 hello-random layout.
+func fillRandom(rnd io.Reader, buf []byte, now time.Time) error {
+	if len(buf) != RandomLen {
+		return errors.New("handshake: random buffer must be 32 bytes")
+	}
+	t := uint32(now.Unix())
+	buf[0] = byte(t >> 24)
+	buf[1] = byte(t >> 16)
+	buf[2] = byte(t >> 8)
+	buf[3] = byte(t)
+	_, err := io.ReadFull(rnd, buf[4:])
+	return err
+}

@@ -1,0 +1,68 @@
+package handshake
+
+import (
+	"sync"
+
+	"sslperf/internal/suite"
+)
+
+// A Session holds the state needed to resume an SSL session without
+// repeating the RSA key exchange — the optimization the paper credits
+// with "greatly reducing the handshake overhead".
+type Session struct {
+	ID      []byte
+	Suite   suite.ID
+	Master  []byte // 48-byte master secret
+	Version uint16 // protocol version the session was established under
+}
+
+// A SessionCache is a bounded server-side store of resumable
+// sessions, keyed by session ID. It is safe for concurrent use.
+type SessionCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*Session
+	order []string // FIFO eviction order
+}
+
+// NewSessionCache returns a cache bounded to capacity sessions
+// (default 1024 when capacity <= 0).
+func NewSessionCache(capacity int) *SessionCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &SessionCache{cap: capacity, items: make(map[string]*Session)}
+}
+
+// Put stores a session, evicting the oldest entry when full.
+func (c *SessionCache) Put(s *Session) {
+	if s == nil || len(s.ID) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := string(s.ID)
+	if _, exists := c.items[key]; !exists {
+		for len(c.items) >= c.cap && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.items, oldest)
+		}
+		c.order = append(c.order, key)
+	}
+	c.items[key] = s
+}
+
+// Get looks a session up by ID; it returns nil when absent.
+func (c *SessionCache) Get(id []byte) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[string(id)]
+}
+
+// Len reports the number of cached sessions.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

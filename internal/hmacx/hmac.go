@@ -1,0 +1,80 @@
+// Package hmacx implements HMAC (RFC 2104) over this library's MD5
+// and SHA-1, the keyed-hash construction TLS 1.0 adopted in place of
+// SSLv3's ad-hoc pad1/pad2 MAC.
+package hmacx
+
+import (
+	"sslperf/internal/md5x"
+	"sslperf/internal/sha1x"
+)
+
+// digest is the hash contract HMAC wraps.
+type digest interface {
+	Write(p []byte) (int, error)
+	Sum(in []byte) []byte
+	Reset()
+	Size() int
+	BlockSize() int
+}
+
+// New returns an HMAC keyed with key over the hash produced by newHash.
+func New(newHash func() digest, key []byte) *HMAC {
+	h := &HMAC{inner: newHash(), outer: newHash()}
+	bs := h.inner.BlockSize()
+	if len(key) > bs {
+		h.inner.Write(key)
+		key = h.inner.Sum(nil)
+		h.inner.Reset()
+	}
+	h.ipad = make([]byte, bs)
+	h.opad = make([]byte, bs)
+	copy(h.ipad, key)
+	copy(h.opad, key)
+	for i := 0; i < bs; i++ {
+		h.ipad[i] ^= 0x36
+		h.opad[i] ^= 0x5c
+	}
+	h.Reset()
+	return h
+}
+
+// NewMD5 returns HMAC-MD5.
+func NewMD5(key []byte) *HMAC {
+	return New(func() digest { return md5x.New() }, key)
+}
+
+// NewSHA1 returns HMAC-SHA1.
+func NewSHA1(key []byte) *HMAC {
+	return New(func() digest { return sha1x.New() }, key)
+}
+
+// HMAC is a streaming HMAC computation.
+type HMAC struct {
+	inner, outer digest
+	ipad, opad   []byte
+}
+
+// Size returns the MAC length.
+func (h *HMAC) Size() int { return h.inner.Size() }
+
+// BlockSize returns the underlying hash's block size.
+func (h *HMAC) BlockSize() int { return h.inner.BlockSize() }
+
+// Reset rewinds to the keyed initial state.
+func (h *HMAC) Reset() {
+	h.inner.Reset()
+	h.inner.Write(h.ipad)
+}
+
+// Write absorbs message bytes. It never fails.
+func (h *HMAC) Write(p []byte) (int, error) { return h.inner.Write(p) }
+
+// Sum appends the MAC of everything written since Reset to in. The
+// inner state is not disturbed, so writing may continue.
+func (h *HMAC) Sum(in []byte) []byte {
+	innerSum := h.inner.Sum(nil)
+	h.outer.Reset()
+	h.outer.Write(h.opad)
+	h.outer.Write(innerSum)
+	return h.outer.Sum(in)
+}

@@ -1,0 +1,110 @@
+package hmacx
+
+import (
+	"bytes"
+	"crypto/hmac"
+	stdmd5 "crypto/md5"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 2202 test vectors.
+func TestRFC2202SHA1(t *testing.T) {
+	cases := []struct{ key, data, want string }{
+		{
+			hex.EncodeToString(bytes.Repeat([]byte{0x0b}, 20)),
+			hex.EncodeToString([]byte("Hi There")),
+			"b617318655057264e28bc0b6fb378c8ef146be00",
+		},
+		{
+			hex.EncodeToString([]byte("Jefe")),
+			hex.EncodeToString([]byte("what do ya want for nothing?")),
+			"effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+		},
+		{
+			hex.EncodeToString(bytes.Repeat([]byte{0xaa}, 80)),
+			hex.EncodeToString([]byte("Test Using Larger Than Block-Size Key - Hash Key First")),
+			"aa4ae5e15272d00e95705637ce8a3b55ed402112",
+		},
+	}
+	for i, c := range cases {
+		key, _ := hex.DecodeString(c.key)
+		data, _ := hex.DecodeString(c.data)
+		h := NewSHA1(key)
+		h.Write(data)
+		if got := hex.EncodeToString(h.Sum(nil)); got != c.want {
+			t.Errorf("case %d: %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestRFC2202MD5(t *testing.T) {
+	key := []byte("Jefe")
+	data := []byte("what do ya want for nothing?")
+	h := NewMD5(key)
+	h.Write(data)
+	want := "750c783e6ab0b503eaa86e310a5db738"
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestAgainstStdlibProperty(t *testing.T) {
+	f := func(key, data []byte) bool {
+		ours := NewSHA1(key)
+		ours.Write(data)
+		std := hmac.New(stdsha1.New, key)
+		std.Write(data)
+		if !bytes.Equal(ours.Sum(nil), std.Sum(nil)) {
+			return false
+		}
+		om := NewMD5(key)
+		om.Write(data)
+		sm := hmac.New(stdmd5.New, key)
+		sm.Write(data)
+		return bytes.Equal(om.Sum(nil), sm.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAndStreaming(t *testing.T) {
+	key := []byte("key")
+	h := NewSHA1(key)
+	h.Write([]byte("hello "))
+	h.Write([]byte("world"))
+	streamed := h.Sum(nil)
+	h.Reset()
+	h.Write([]byte("hello world"))
+	whole := h.Sum(nil)
+	if !bytes.Equal(streamed, whole) {
+		t.Fatal("streaming differs from one-shot")
+	}
+}
+
+func TestSumDoesNotFinalize(t *testing.T) {
+	h := NewMD5([]byte("k"))
+	h.Write([]byte("ab"))
+	a := h.Sum(nil)
+	if !bytes.Equal(a, h.Sum(nil)) {
+		t.Fatal("Sum changed state")
+	}
+	h.Write([]byte("c"))
+	h2 := NewMD5([]byte("k"))
+	h2.Write([]byte("abc"))
+	if !bytes.Equal(h.Sum(nil), h2.Sum(nil)) {
+		t.Fatal("write-after-Sum broken")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if NewMD5(nil).Size() != 16 || NewSHA1(nil).Size() != 20 {
+		t.Fatal("sizes wrong")
+	}
+	if NewSHA1(nil).BlockSize() != 64 {
+		t.Fatal("block size wrong")
+	}
+}

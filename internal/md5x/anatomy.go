@@ -1,0 +1,81 @@
+package md5x
+
+import (
+	"time"
+
+	"sslperf/internal/perf"
+)
+
+// Phase names for the Table 10 breakdown.
+const (
+	PhaseInit   = "init"
+	PhaseUpdate = "update"
+	PhaseFinal  = "final"
+)
+
+// ProfilePhases hashes a dataLen-byte message n times, timing the
+// Init, Update and Final phases separately, and returns the per-phase
+// breakdown — the MD5 column of the paper's Table 10 (which uses
+// dataLen = 1024).
+func ProfilePhases(dataLen, n int) *perf.Breakdown {
+	b := perf.NewBreakdown()
+	data := make([]byte, dataLen)
+	digests := make([]*Digest, n)
+
+	start := time.Now()
+	for i := range digests {
+		digests[i] = New()
+	}
+	b.Add(PhaseInit, time.Since(start))
+
+	start = time.Now()
+	for i := range digests {
+		digests[i].Write(data)
+	}
+	b.Add(PhaseUpdate, time.Since(start))
+
+	start = time.Now()
+	var sum []byte
+	for i := range digests {
+		sum = digests[i].Sum(sum[:0])
+	}
+	b.Add(PhaseFinal, time.Since(start))
+	return b
+}
+
+// TraceBlock emits the abstract operation stream of one MD5
+// compression (64 rounds) into tr. Per round: the boolean function
+// (2–4 logical ops), two adds for constant+message, one add for the
+// chaining value, a rotate, and a final add; x86 register pressure
+// adds message-word loads and occasional spills — the movl/addl/xorl
+// mix of the paper's Table 12.
+func TraceBlock(tr *perf.Trace) {
+	const rounds = 64
+	tr.Emit(perf.OpLoad, 16+rounds) // message schedule + per-round m[g]
+	tr.Emit(perf.OpAnd, 2*32)       // F/G rounds: two ANDs each
+	tr.Emit(perf.OpNot, 32+16)      // F/G negation + I negation
+	tr.Emit(perf.OpOr, 32+16)
+	tr.Emit(perf.OpXor, 2*16+2*16) // H rounds (2 xors) + I rounds (1 xor + mix)
+	tr.Emit(perf.OpAdd, 4*rounds)
+	tr.Emit(perf.OpRotate, rounds)
+	tr.Emit(perf.OpMove, rounds) // register rotation a,d,c,b
+	tr.Emit(perf.OpStore, 8)     // chaining update
+	tr.Emit(perf.OpLoad, 8)
+	tr.Emit(perf.OpAdd, 4)
+	tr.Emit(perf.OpBranch, rounds/4) // partially unrolled loop control
+	tr.Emit(perf.OpCmp, rounds/4)
+	tr.Bytes += BlockSize
+}
+
+// TraceHash emits the operations of hashing n bytes (including the
+// padding/length blocks of Final) into tr.
+func TraceHash(tr *perf.Trace, n uint64) {
+	before := tr.Bytes
+	blocks := (n + 8 + BlockSize) / BlockSize // data + padding
+	var one perf.Trace
+	TraceBlock(&one)
+	for i := uint64(0); i < blocks; i++ {
+		tr.Add(&one)
+	}
+	tr.Bytes = before + n // path length counts payload bytes only
+}

@@ -1,0 +1,212 @@
+// Package perf is the measurement substrate for the SSL anatomy study.
+//
+// It plays the role of the measurement tools in the original paper:
+// Oprofile/VTune (wall-clock attribution to code regions) and SoftSDV
+// (dynamic instruction accounting). Wall time is captured with the
+// monotonic clock and converted to "model cycles" at a configurable
+// frequency so reports are comparable with the paper's 2.26 GHz
+// Pentium 4 numbers. Instruction accounting is done by counting
+// abstract operation classes emitted by instrumented kernels.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ModelGHz is the clock frequency used to convert measured nanoseconds
+// into "cycles" for report comparability with the paper's machine
+// (2.26 GHz Pentium 4). It scales every cycle figure uniformly and has
+// no effect on percentages or ratios.
+var ModelGHz = 2.26
+
+// Cycles converts a duration to model cycles at ModelGHz.
+func Cycles(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) * ModelGHz
+}
+
+// Duration converts model cycles back into wall time at ModelGHz.
+func Duration(cycles float64) time.Duration {
+	return time.Duration(cycles / ModelGHz)
+}
+
+// A Timer measures one region of code with the monotonic clock.
+// The zero Timer is ready to use.
+type Timer struct {
+	start   time.Time
+	elapsed time.Duration
+	running bool
+}
+
+// Start begins (or resumes) timing.
+func (t *Timer) Start() {
+	if !t.running {
+		t.start = time.Now()
+		t.running = true
+	}
+}
+
+// Stop ends the current timing interval and accumulates it.
+func (t *Timer) Stop() {
+	if t.running {
+		t.elapsed += time.Since(t.start)
+		t.running = false
+	}
+}
+
+// Reset clears accumulated time; a running timer keeps running from now.
+func (t *Timer) Reset() {
+	t.elapsed = 0
+	if t.running {
+		t.start = time.Now()
+	}
+}
+
+// Elapsed reports the accumulated duration, including the current
+// interval if the timer is running.
+func (t *Timer) Elapsed() time.Duration {
+	if t.running {
+		return t.elapsed + time.Since(t.start)
+	}
+	return t.elapsed
+}
+
+// Cycles reports the accumulated time in model cycles.
+func (t *Timer) Cycles() float64 { return Cycles(t.Elapsed()) }
+
+// A Sample is one attributed measurement: a named region and the time
+// spent in it.
+type Sample struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// A Breakdown accumulates time by region name, preserving first-seen
+// order, and renders percentage tables like the ones in the paper.
+// It is not safe for concurrent use; each measured activity owns one.
+type Breakdown struct {
+	order   []string
+	elapsed map[string]time.Duration
+	count   map[string]int
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{
+		elapsed: make(map[string]time.Duration),
+		count:   make(map[string]int),
+	}
+}
+
+// Add attributes d to region name.
+func (b *Breakdown) Add(name string, d time.Duration) {
+	if _, ok := b.elapsed[name]; !ok {
+		b.order = append(b.order, name)
+	}
+	b.elapsed[name] += d
+	b.count[name]++
+}
+
+// Time executes fn, attributing its duration to region name, and
+// returns that duration.
+func (b *Breakdown) Time(name string, fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	b.Add(name, d)
+	return d
+}
+
+// Elapsed returns the accumulated time for region name.
+func (b *Breakdown) Elapsed(name string) time.Duration { return b.elapsed[name] }
+
+// Count returns how many times region name was attributed.
+func (b *Breakdown) Count(name string) int { return b.count[name] }
+
+// Names returns the region names in first-seen order.
+func (b *Breakdown) Names() []string {
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// Total returns the sum over all regions.
+func (b *Breakdown) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range b.elapsed {
+		sum += d
+	}
+	return sum
+}
+
+// Percent returns region name's share of the total, in percent.
+// It returns 0 when the breakdown is empty.
+func (b *Breakdown) Percent(name string) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.elapsed[name]) / float64(total)
+}
+
+// Scale divides every accumulated duration by n, turning an
+// n-iteration aggregate into per-iteration figures. n must be > 0.
+func (b *Breakdown) Scale(n int) {
+	if n <= 0 {
+		panic("perf: Breakdown.Scale with n <= 0")
+	}
+	for k, d := range b.elapsed {
+		b.elapsed[k] = d / time.Duration(n)
+	}
+}
+
+// Merge adds all of other's regions into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for _, name := range other.order {
+		b.Add(name, other.elapsed[name])
+		// Add counted once; fix up to reflect other's count.
+		b.count[name] += other.count[name] - 1
+	}
+}
+
+// Samples returns the breakdown as a slice in first-seen order.
+func (b *Breakdown) Samples() []Sample {
+	out := make([]Sample, 0, len(b.order))
+	for _, name := range b.order {
+		out = append(out, Sample{Name: name, Elapsed: b.elapsed[name]})
+	}
+	return out
+}
+
+// SortedByElapsed returns samples sorted by descending elapsed time.
+func (b *Breakdown) SortedByElapsed() []Sample {
+	s := b.Samples()
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Elapsed > s[j].Elapsed })
+	return s
+}
+
+// String renders the breakdown as an aligned table of
+// name / kilocycles / percent, in first-seen order.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	total := b.Total()
+	width := 4
+	for _, name := range b.order {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %14s  %7s\n", width, "step", "cycles (x1000)", "%")
+	for _, name := range b.order {
+		d := b.elapsed[name]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-*s  %14.1f  %6.2f%%\n", width, name, Cycles(d)/1000, pct)
+	}
+	fmt.Fprintf(&sb, "%-*s  %14.1f  %6.2f%%\n", width, "total", Cycles(total)/1000, 100.0)
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if s.Min() != time.Millisecond || s.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 ||
+		s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSeriesStdDev(t *testing.T) {
+	var s Series
+	// Constant series: zero deviation.
+	for i := 0; i < 10; i++ {
+		s.Add(5 * time.Millisecond)
+	}
+	if s.StdDev() != 0 {
+		t.Fatalf("constant stddev = %v", s.StdDev())
+	}
+	// Two-point series {0, 10ms}: population stddev = 5ms.
+	var s2 Series
+	s2.Add(0)
+	s2.Add(10 * time.Millisecond)
+	if got := s2.StdDev(); got != 5*time.Millisecond {
+		t.Fatalf("stddev = %v, want 5ms", got)
+	}
+}
+
+func TestSeriesAddAfterPercentile(t *testing.T) {
+	var s Series
+	s.Add(2 * time.Millisecond)
+	_ = s.Percentile(50)
+	s.Add(1 * time.Millisecond) // must re-sort
+	if got := s.Min(); got != time.Millisecond {
+		t.Fatalf("min after add = %v", got)
+	}
+}
+
+func TestSeriesPercentileClamps(t *testing.T) {
+	var s Series
+	s.Add(time.Millisecond)
+	if s.Percentile(-5) != time.Millisecond || s.Percentile(500) != time.Millisecond {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	var s Series
+	s.Add(time.Millisecond)
+	if !strings.Contains(s.String(), "p99") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

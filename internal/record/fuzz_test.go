@@ -1,0 +1,60 @@
+package record
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sslperf/internal/suite"
+)
+
+// FuzzReadRecord feeds the record reader arbitrary wire bytes through
+// both a NULL-security layer and a fully armed DES-CBC3-SHA layer; it
+// must never panic and never return a payload longer than the record
+// claimed.
+func FuzzReadRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{22, 3, 0, 0, 1, 0})
+	f.Add([]byte{23, 3, 1, 0, 4, 'd', 'a', 't', 'a'})
+	f.Add([]byte{21, 3, 0, 0, 2, 2, 40})
+	f.Add(bytes.Repeat([]byte{0x30}, 100))
+	// A real sealed record as a mutation seed.
+	seed := func() []byte {
+		s, _ := suite.ByName("DES-CBC3-SHA")
+		buf := &bytes.Buffer{}
+		l := NewLayer(struct {
+			io.Reader
+			io.Writer
+		}{Writer: buf})
+		c, _ := s.NewCipher(make([]byte, 24), make([]byte, 8), true)
+		m, _ := s.NewMAC(make([]byte, 20))
+		l.SetWriteState(c, m)
+		l.WriteRecord(TypeApplicationData, []byte("fuzz seed payload"))
+		return buf.Bytes()
+	}()
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, armed := range []bool{false, true} {
+			l := NewLayer(struct {
+				io.Reader
+				io.Writer
+			}{Reader: bytes.NewReader(data), Writer: io.Discard})
+			if armed {
+				s, _ := suite.ByName("DES-CBC3-SHA")
+				c, _ := s.NewCipher(make([]byte, 24), make([]byte, 8), false)
+				m, _ := s.NewMAC(make([]byte, 20))
+				l.SetReadState(c, m)
+			}
+			for i := 0; i < 4; i++ { // read a few records if present
+				_, payload, err := l.ReadRecord()
+				if err != nil {
+					break
+				}
+				if len(payload) > MaxFragment {
+					t.Fatalf("payload of %d bytes exceeds max fragment", len(payload))
+				}
+			}
+		}
+	})
+}

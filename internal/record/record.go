@@ -1,0 +1,397 @@
+// Package record implements the SSL 3.0 record layer: framing,
+// fragmentation, MAC computation/verification, CBC padding, and
+// encryption state management. Every byte of the paper's bulk data
+// transfer phase flows through this layer — one MAC and one cipher
+// pass per record, exactly the work the paper's crypto-engine sketch
+// (Figure 6) wants to overlap.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sslperf/internal/sslcrypto"
+	"sslperf/internal/suite"
+)
+
+// ContentType is the record content type.
+type ContentType byte
+
+// SSLv3 record content types.
+const (
+	TypeChangeCipherSpec ContentType = 20
+	TypeAlert            ContentType = 21
+	TypeHandshake        ContentType = 22
+	TypeApplicationData  ContentType = 23
+)
+
+// String names the content type.
+func (t ContentType) String() string {
+	switch t {
+	case TypeChangeCipherSpec:
+		return "change_cipher_spec"
+	case TypeAlert:
+		return "alert"
+	case TypeHandshake:
+		return "handshake"
+	case TypeApplicationData:
+		return "application_data"
+	}
+	return fmt.Sprintf("content_type(%d)", byte(t))
+}
+
+// Protocol wire versions.
+const (
+	// VersionSSL30 is SSL 3.0, the paper's protocol.
+	VersionSSL30 uint16 = 0x0300
+	// VersionTLS10 is TLS 1.0 (RFC 2246), the successor the paper's
+	// background mentions; supported as an extension.
+	VersionTLS10 uint16 = 0x0301
+)
+
+// Version is the SSL 3.0 wire version (kept as the package default).
+const Version = VersionSSL30
+
+// MaxFragment is the maximum plaintext fragment length (2^14).
+const MaxFragment = 16384
+
+// headerLen is the record header size: type(1) version(2) length(2).
+const headerLen = 5
+
+// Alert levels and descriptions (the subset SSLv3 defines that this
+// library emits or interprets).
+const (
+	AlertLevelWarning = 1
+	AlertLevelFatal   = 2
+
+	AlertCloseNotify        = 0
+	AlertUnexpectedMessage  = 10
+	AlertBadRecordMAC       = 20
+	AlertHandshakeFailure   = 40
+	AlertNoCertificate      = 41
+	AlertBadCertificate     = 42
+	AlertCertificateExpired = 45
+	AlertIllegalParameter   = 47
+)
+
+// AlertError is an alert received from the peer, surfaced as an error.
+type AlertError struct {
+	Level       byte
+	Description byte
+}
+
+// Error renders the alert.
+func (a *AlertError) Error() string {
+	lvl := "warning"
+	if a.Level == AlertLevelFatal {
+		lvl = "fatal"
+	}
+	desc := map[byte]string{
+		AlertCloseNotify:        "close_notify",
+		AlertUnexpectedMessage:  "unexpected_message",
+		AlertBadRecordMAC:       "bad_record_mac",
+		AlertHandshakeFailure:   "handshake_failure",
+		AlertNoCertificate:      "no_certificate",
+		AlertBadCertificate:     "bad_certificate",
+		AlertCertificateExpired: "certificate_expired",
+		AlertIllegalParameter:   "illegal_parameter",
+	}[a.Description]
+	if desc == "" {
+		desc = fmt.Sprintf("alert(%d)", a.Description)
+	}
+	return fmt.Sprintf("ssl: %s alert: %s", lvl, desc)
+}
+
+// ErrClosed is returned after a close_notify alert has been received.
+var ErrClosed = errors.New("record: connection closed by close_notify")
+
+// halfState is one direction's cryptographic state.
+type halfState struct {
+	cipher suite.RecordCipher
+	mac    *sslcrypto.MAC
+	seq    uint64
+}
+
+// active reports whether encryption is enabled in this direction.
+func (h *halfState) active() bool { return h.cipher != nil }
+
+// Stats counts record-layer activity for the experiments.
+type Stats struct {
+	RecordsRead    int
+	RecordsWritten int
+	BytesRead      int // plaintext payload bytes
+	BytesWritten   int
+}
+
+// CryptoOp identifies a record-layer crypto operation for observers.
+type CryptoOp int
+
+// Observable record-layer crypto operations.
+const (
+	OpCipherEncrypt CryptoOp = iota
+	OpCipherDecrypt
+	OpMACCompute
+	OpMACVerify
+)
+
+// String names the operation.
+func (o CryptoOp) String() string {
+	switch o {
+	case OpCipherEncrypt:
+		return "cipher_encrypt"
+	case OpCipherDecrypt:
+		return "cipher_decrypt"
+	case OpMACCompute:
+		return "mac_compute"
+	case OpMACVerify:
+		return "mac_verify"
+	}
+	return fmt.Sprintf("crypto_op(%d)", int(o))
+}
+
+// A Layer frames records over an underlying stream. It is not safe
+// for concurrent use; the ssl package serializes access.
+type Layer struct {
+	rw  io.ReadWriter
+	in  halfState
+	out halfState
+
+	// Stats accumulates counts; read freely between operations.
+	Stats Stats
+
+	// OnCrypto, when non-nil, observes the duration and payload size
+	// of every cipher and MAC operation the layer performs. The
+	// anatomy experiments use this to attribute bulk-transfer time to
+	// private-key encryption vs hashing (Table 2 steps 6/8, Figure 2).
+	OnCrypto func(op CryptoOp, bytes int, d time.Duration)
+
+	// version is the pinned protocol version; 0 means flexible
+	// (accept SSL 3.0 or TLS 1.0, emit SSL 3.0) until the handshake
+	// negotiates and pins one via SetProtocolVersion.
+	version uint16
+
+	readBuf [headerLen]byte
+}
+
+// SetProtocolVersion pins the record-layer protocol version after
+// negotiation. Subsequent records are emitted with it and inbound
+// records must match it.
+func (l *Layer) SetProtocolVersion(v uint16) { l.version = v }
+
+// ProtocolVersion reports the pinned version (0 when still flexible).
+func (l *Layer) ProtocolVersion() uint16 { return l.version }
+
+func (l *Layer) writeVersion() uint16 {
+	if l.version == 0 {
+		return VersionSSL30
+	}
+	return l.version
+}
+
+func (l *Layer) versionOK(v uint16) bool {
+	if l.version != 0 {
+		return v == l.version
+	}
+	return v == VersionSSL30 || v == VersionTLS10
+}
+
+// timeCrypto runs fn, reporting it to OnCrypto when set.
+func (l *Layer) timeCrypto(op CryptoOp, n int, fn func()) {
+	if l.OnCrypto == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	l.OnCrypto(op, n, time.Since(start))
+}
+
+// NewLayer wraps rw in a record layer with NULL security (the state
+// before ChangeCipherSpec).
+func NewLayer(rw io.ReadWriter) *Layer {
+	return &Layer{rw: rw}
+}
+
+// SetWriteState installs the outbound cipher and MAC and resets the
+// outbound sequence number; called when sending ChangeCipherSpec.
+func (l *Layer) SetWriteState(c suite.RecordCipher, m *sslcrypto.MAC) {
+	l.out = halfState{cipher: c, mac: m}
+}
+
+// SetReadState installs the inbound cipher and MAC and resets the
+// inbound sequence number; called when receiving ChangeCipherSpec.
+func (l *Layer) SetReadState(c suite.RecordCipher, m *sslcrypto.MAC) {
+	l.in = halfState{cipher: c, mac: m}
+}
+
+// WriteRecord sends data of the given type, fragmenting as needed.
+func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
+	for first := true; first || len(data) > 0; first = false {
+		n := len(data)
+		if n > MaxFragment {
+			n = MaxFragment
+		}
+		if err := l.writeFragment(typ, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// writeFragment seals and sends one fragment: payload ‖ MAC ‖ padding.
+func (l *Layer) writeFragment(typ ContentType, payload []byte) error {
+	var mac []byte
+	if l.out.mac != nil {
+		l.timeCrypto(OpMACCompute, len(payload), func() {
+			mac = l.out.mac.Compute(l.out.seq, byte(typ), payload)
+		})
+	}
+	body := make([]byte, 0, len(payload)+len(mac)+64)
+	body = append(body, payload...)
+	body = append(body, mac...)
+	if l.out.active() {
+		if bs := l.out.cipher.BlockSize(); bs > 1 {
+			// Block padding: pad bytes then a count byte; total
+			// length must be a block multiple. Every pad byte holds
+			// the count, as TLS 1.0 requires (SSLv3 allows any
+			// content, so this satisfies both).
+			padLen := bs - (len(body)+1)%bs
+			if padLen == bs {
+				padLen = 0
+			}
+			for i := 0; i < padLen; i++ {
+				body = append(body, byte(padLen))
+			}
+			body = append(body, byte(padLen))
+		}
+		l.timeCrypto(OpCipherEncrypt, len(body), func() {
+			l.out.cipher.Encrypt(body)
+		})
+	}
+	hdr := [headerLen]byte{byte(typ)}
+	binary.BigEndian.PutUint16(hdr[1:], l.writeVersion())
+	binary.BigEndian.PutUint16(hdr[3:], uint16(len(body)))
+	if _, err := l.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.rw.Write(body); err != nil {
+		return err
+	}
+	l.out.seq++
+	l.Stats.RecordsWritten++
+	l.Stats.BytesWritten += len(payload)
+	return nil
+}
+
+// ReadRecord reads and opens the next record, returning its type and
+// plaintext payload. Alerts are surfaced as *AlertError (close_notify
+// additionally returns ErrClosed on subsequent reads).
+func (l *Layer) ReadRecord() (ContentType, []byte, error) {
+	if _, err := io.ReadFull(l.rw, l.readBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	typ := ContentType(l.readBuf[0])
+	version := binary.BigEndian.Uint16(l.readBuf[1:])
+	length := int(binary.BigEndian.Uint16(l.readBuf[3:]))
+	if !l.versionOK(version) {
+		return 0, nil, fmt.Errorf("record: unsupported version %#04x", version)
+	}
+	if length == 0 || length > MaxFragment+2048 {
+		return 0, nil, fmt.Errorf("record: implausible record length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(l.rw, body); err != nil {
+		return 0, nil, err
+	}
+	payload, err := l.open(typ, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	l.Stats.RecordsRead++
+	l.Stats.BytesRead += len(payload)
+	if typ == TypeAlert {
+		if len(payload) != 2 {
+			return 0, nil, errors.New("record: malformed alert")
+		}
+		return typ, payload, &AlertError{Level: payload[0], Description: payload[1]}
+	}
+	return typ, payload, nil
+}
+
+// open decrypts, strips padding, and verifies the MAC of one record
+// body in place.
+func (l *Layer) open(typ ContentType, body []byte) ([]byte, error) {
+	if !l.in.active() {
+		if l.in.mac != nil {
+			return l.checkMAC(typ, body)
+		}
+		l.in.seq++
+		return body, nil
+	}
+	bs := l.in.cipher.BlockSize()
+	if bs > 1 && len(body)%bs != 0 {
+		return nil, errors.New("record: ciphertext not a block multiple")
+	}
+	l.timeCrypto(OpCipherDecrypt, len(body), func() {
+		l.in.cipher.Decrypt(body)
+	})
+	if bs > 1 {
+		if len(body) == 0 {
+			return nil, errors.New("record: empty block record")
+		}
+		padLen := int(body[len(body)-1])
+		if padLen+1 > len(body) {
+			return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
+		}
+		if l.version >= VersionTLS10 {
+			// TLS 1.0: padding may span blocks and every pad byte
+			// must equal the count.
+			for _, b := range body[len(body)-padLen-1:] {
+				if int(b) != padLen {
+					return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
+				}
+			}
+		} else if padLen >= bs {
+			// SSLv3: padding must not exceed one block; content is
+			// arbitrary.
+			return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
+		}
+		body = body[:len(body)-padLen-1]
+	}
+	return l.checkMAC(typ, body)
+}
+
+func (l *Layer) checkMAC(typ ContentType, body []byte) ([]byte, error) {
+	if l.in.mac == nil {
+		l.in.seq++
+		return body, nil
+	}
+	macLen := l.in.mac.Size()
+	if len(body) < macLen {
+		return nil, errors.New("record: record shorter than MAC")
+	}
+	payload, mac := body[:len(body)-macLen], body[len(body)-macLen:]
+	var ok bool
+	l.timeCrypto(OpMACVerify, len(payload), func() {
+		ok = l.in.mac.Verify(l.in.seq, byte(typ), payload, mac)
+	})
+	if !ok {
+		return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
+	}
+	l.in.seq++
+	return payload, nil
+}
+
+// SendAlert writes an alert record.
+func (l *Layer) SendAlert(level, desc byte) error {
+	return l.WriteRecord(TypeAlert, []byte{level, desc})
+}
+
+// SendClose sends a close_notify warning alert.
+func (l *Layer) SendClose() error {
+	return l.SendAlert(AlertLevelWarning, AlertCloseNotify)
+}

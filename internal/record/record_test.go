@@ -1,0 +1,331 @@
+package record
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"sslperf/internal/sslcrypto"
+	"sslperf/internal/suite"
+)
+
+// oneWay builds a sender and receiver layer sharing one buffer.
+func oneWay() (*Layer, *Layer, *bytes.Buffer) {
+	buf := &bytes.Buffer{}
+	type rw struct {
+		io.Reader
+		io.Writer
+	}
+	sender := NewLayer(rw{Reader: strings.NewReader(""), Writer: buf})
+	receiver := NewLayer(rw{Reader: buf, Writer: io.Discard})
+	return sender, receiver, buf
+}
+
+// arm installs matching cipher/MAC state for one direction.
+func arm(t *testing.T, s *suite.Suite, sender, receiver *Layer) {
+	t.Helper()
+	key := make([]byte, s.KeyLen)
+	iv := make([]byte, s.IVLen)
+	macSecret := make([]byte, s.MACLen())
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	for i := range iv {
+		iv[i] = byte(i + 7)
+	}
+	for i := range macSecret {
+		macSecret[i] = byte(i + 13)
+	}
+	wc, err := s.NewCipher(key, iv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := s.NewCipher(key, iv, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := s.NewMAC(macSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := s.NewMAC(macSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender.SetWriteState(wc, wm)
+	receiver.SetReadState(rc, rm)
+}
+
+func TestPlaintextRoundTrip(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	msg := []byte("hello, handshake")
+	if err := sender.WriteRecord(TypeHandshake, msg); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := receiver.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeHandshake || !bytes.Equal(got, msg) {
+		t.Fatalf("got %v %q", typ, got)
+	}
+}
+
+func TestAllSuitesRoundTrip(t *testing.T) {
+	for _, s := range suite.All() {
+		t.Run(s.Name, func(t *testing.T) {
+			sender, receiver, _ := oneWay()
+			arm(t, s, sender, receiver)
+			for i, msg := range [][]byte{
+				[]byte("first record"),
+				[]byte(""),
+				bytes.Repeat([]byte{0xab}, 1000),
+				[]byte("x"),
+			} {
+				if err := sender.WriteRecord(TypeApplicationData, msg); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				typ, got, err := receiver.ReadRecord()
+				if err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if typ != TypeApplicationData || !bytes.Equal(got, msg) {
+					t.Fatalf("record %d corrupted", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCiphertextActuallyEncrypted(t *testing.T) {
+	s, _ := suite.ByName("DES-CBC3-SHA")
+	sender, _, buf := oneWay()
+	recv := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: buf, Writer: io.Discard})
+	arm(t, s, sender, recv)
+	secret := []byte("very secret plaintext payload!")
+	if err := sender.WriteRecord(TypeApplicationData, secret); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), secret) {
+		t.Fatal("plaintext visible on the wire")
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	s, _ := suite.ByName("RC4-MD5")
+	arm(t, s, sender, receiver)
+	big := make([]byte, MaxFragment*2+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := sender.WriteRecord(TypeApplicationData, big); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for len(got) < len(big) {
+		typ, chunk, err := receiver.ReadRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != TypeApplicationData {
+			t.Fatalf("type %v", typ)
+		}
+		if len(chunk) > MaxFragment {
+			t.Fatalf("fragment of %d bytes exceeds max", len(chunk))
+		}
+		got = append(got, chunk...)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("reassembly mismatch")
+	}
+	if receiver.Stats.RecordsRead != 3 {
+		t.Fatalf("expected 3 records, read %d", receiver.Stats.RecordsRead)
+	}
+}
+
+func TestTamperedRecordRejected(t *testing.T) {
+	s, _ := suite.ByName("AES128-SHA")
+	sender, _, buf := oneWay()
+	recv := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: buf, Writer: io.Discard})
+	arm(t, s, sender, recv)
+	if err := sender.WriteRecord(TypeApplicationData, []byte("do not touch")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x80 // flip a ciphertext bit
+	_, _, err := recv.ReadRecord()
+	if err == nil {
+		t.Fatal("tampered record accepted")
+	}
+	if ae, ok := err.(*AlertError); ok && ae.Description != AlertBadRecordMAC {
+		t.Fatalf("unexpected alert: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	// Delivering the same ciphertext twice must fail the second time:
+	// the MAC binds the sequence number.
+	s, _ := suite.ByName("RC4-SHA")
+	buf := &bytes.Buffer{}
+	sender := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: strings.NewReader(""), Writer: buf})
+	recv := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: buf, Writer: io.Discard})
+	arm(t, s, sender, recv)
+	if err := sender.WriteRecord(TypeApplicationData, []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte{}, buf.Bytes()...)
+	if _, _, err := recv.ReadRecord(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(wire) // replay
+	if _, _, err := recv.ReadRecord(); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+}
+
+func TestAlertSurfacing(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	if err := sender.SendAlert(AlertLevelFatal, AlertHandshakeFailure); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := receiver.ReadRecord()
+	if typ != TypeAlert {
+		t.Fatalf("type %v", typ)
+	}
+	ae, ok := err.(*AlertError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if ae.Level != AlertLevelFatal || ae.Description != AlertHandshakeFailure {
+		t.Fatalf("alert = %+v", ae)
+	}
+	if !strings.Contains(ae.Error(), "handshake_failure") {
+		t.Fatalf("alert text: %s", ae.Error())
+	}
+}
+
+func TestCloseNotify(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	if err := sender.SendClose(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := receiver.ReadRecord()
+	ae, ok := err.(*AlertError)
+	if !ok || ae.Description != AlertCloseNotify || ae.Level != AlertLevelWarning {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVersionHandling(t *testing.T) {
+	mk := func(wire []byte) *Layer {
+		return NewLayer(struct {
+			io.Reader
+			io.Writer
+		}{Reader: bytes.NewReader(wire), Writer: io.Discard})
+	}
+	tls10Rec := []byte{byte(TypeHandshake), 0x03, 0x01, 0x00, 0x01, 0x00}
+	ssl30Rec := []byte{byte(TypeHandshake), 0x03, 0x00, 0x00, 0x01, 0x00}
+	ssl2Rec := []byte{byte(TypeHandshake), 0x02, 0x00, 0x00, 0x01, 0x00}
+
+	// A flexible (pre-negotiation) layer accepts both modern versions.
+	if _, _, err := mk(tls10Rec).ReadRecord(); err != nil {
+		t.Fatalf("flexible layer rejected TLS 1.0: %v", err)
+	}
+	if _, _, err := mk(ssl30Rec).ReadRecord(); err != nil {
+		t.Fatalf("flexible layer rejected SSL 3.0: %v", err)
+	}
+	if _, _, err := mk(ssl2Rec).ReadRecord(); err == nil {
+		t.Fatal("flexible layer accepted SSLv2")
+	}
+	// Once pinned, the other version is rejected.
+	pinned := mk(tls10Rec)
+	pinned.SetProtocolVersion(VersionSSL30)
+	if _, _, err := pinned.ReadRecord(); err == nil {
+		t.Fatal("pinned SSL3 layer accepted TLS record")
+	}
+	if pinned.ProtocolVersion() != VersionSSL30 {
+		t.Fatal("ProtocolVersion not reported")
+	}
+	// And the pinned version is emitted on the wire.
+	out := &bytes.Buffer{}
+	send := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: bytes.NewReader(nil), Writer: out})
+	send.SetProtocolVersion(VersionTLS10)
+	send.WriteRecord(TypeApplicationData, []byte("x"))
+	if out.Bytes()[1] != 0x03 || out.Bytes()[2] != 0x01 {
+		t.Fatalf("wire version = %x", out.Bytes()[1:3])
+	}
+}
+
+func TestRejectsTruncatedRecord(t *testing.T) {
+	buf := &bytes.Buffer{}
+	buf.Write([]byte{byte(TypeHandshake), 0x03, 0x00, 0x00, 0x10, 0xaa}) // claims 16 bytes
+	recv := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: buf, Writer: io.Discard})
+	if _, _, err := recv.ReadRecord(); err == nil {
+		t.Fatal("accepted truncated record")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	payload := []byte("count me")
+	sender.WriteRecord(TypeApplicationData, payload)
+	receiver.ReadRecord()
+	if sender.Stats.RecordsWritten != 1 || sender.Stats.BytesWritten != len(payload) {
+		t.Fatalf("sender stats %+v", sender.Stats)
+	}
+	if receiver.Stats.RecordsRead != 1 || receiver.Stats.BytesRead != len(payload) {
+		t.Fatalf("receiver stats %+v", receiver.Stats)
+	}
+}
+
+func TestContentTypeString(t *testing.T) {
+	if TypeApplicationData.String() != "application_data" {
+		t.Fatal("String wrong")
+	}
+	if !strings.Contains(ContentType(99).String(), "99") {
+		t.Fatal("unknown type string wrong")
+	}
+}
+
+func TestMACKeyMismatchRejected(t *testing.T) {
+	s, _ := suite.ByName("NULL-SHA")
+	buf := &bytes.Buffer{}
+	sender := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: strings.NewReader(""), Writer: buf})
+	recv := NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: buf, Writer: io.Discard})
+	wm, _ := sslcrypto.NewMAC(sslcrypto.MACSHA1, bytes.Repeat([]byte{1}, 20))
+	rm, _ := sslcrypto.NewMAC(sslcrypto.MACSHA1, bytes.Repeat([]byte{2}, 20))
+	wc, _ := s.NewCipher(nil, nil, true)
+	rc, _ := s.NewCipher(nil, nil, false)
+	sender.SetWriteState(wc, wm)
+	recv.SetReadState(rc, rm)
+	sender.WriteRecord(TypeApplicationData, []byte("mismatch"))
+	if _, _, err := recv.ReadRecord(); err == nil {
+		t.Fatal("accepted record with wrong MAC key")
+	}
+}

@@ -1,0 +1,5 @@
+package rsa
+
+import "sslperf/internal/bn"
+
+func newIntFromBytes(b []byte) *bn.Int { return bn.New().SetBytes(b) }

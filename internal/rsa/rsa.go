@@ -1,0 +1,323 @@
+// Package rsa implements RSA key generation, PKCS#1 v1.5 encryption
+// and signatures, CRT private-key operations and blinding, from
+// scratch on the bn package — the asymmetric primitive the paper's
+// handshake measurements revolve around.
+//
+// Decryption is factored into the six phases of the paper's Table 7
+// (init, string→bignum, blinding, modular computation, bignum→string,
+// block parsing) so the experiment harness can attribute time to each.
+package rsa
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"sslperf/internal/bn"
+	"sslperf/internal/perf"
+)
+
+// Phase names for the Table 7 breakdown.
+const (
+	PhaseInit         = "init"
+	PhaseDataToBN     = "data_to_bn"
+	PhaseBlinding     = "blinding"
+	PhaseComputation  = "computation"
+	PhaseBNToData     = "bn_to_data"
+	PhaseBlockParsing = "block_parsing"
+)
+
+// Phases lists the decryption phases in execution order.
+var Phases = []string{
+	PhaseInit, PhaseDataToBN, PhaseBlinding,
+	PhaseComputation, PhaseBNToData, PhaseBlockParsing,
+}
+
+// PublicKey is an RSA public key (N, e).
+type PublicKey struct {
+	N *bn.Int // modulus
+	E *bn.Int // public exponent
+}
+
+// Size returns the modulus size in bytes.
+func (pub *PublicKey) Size() int { return (pub.N.BitLen() + 7) / 8 }
+
+// PrivateKey is an RSA private key with CRT parameters.
+type PrivateKey struct {
+	PublicKey
+	D    *bn.Int // private exponent
+	P, Q *bn.Int // prime factors, P > Q
+	Dp   *bn.Int // D mod (P-1)
+	Dq   *bn.Int // D mod (Q-1)
+	Qinv *bn.Int // Q^-1 mod P
+
+	// blind is the shared blinding pair; blindMu serializes its
+	// refresh when one key serves concurrent connections (the same
+	// reason OpenSSL locks its BN_BLINDING).
+	blindMu sync.Mutex
+	blind   *blinding
+}
+
+// GenerateKey generates an RSA key with the given modulus bit size and
+// public exponent 65537. The paper evaluates 512- and 1024-bit keys.
+func GenerateKey(rnd io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 || bits%2 != 0 {
+		return nil, errors.New("rsa: key size must be an even number of bits >= 128")
+	}
+	e := bn.NewInt(65537)
+	one := bn.NewInt(1)
+	for {
+		p, err := bn.GeneratePrime(rnd, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := bn.GeneratePrime(rnd, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Equal(q) {
+			continue
+		}
+		if p.Cmp(q) < 0 {
+			p, q = q, p
+		}
+		n := bn.New().Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := bn.New().Sub(p, one)
+		qm1 := bn.New().Sub(q, one)
+		phi := bn.New().Mul(pm1, qm1)
+		d := bn.New().ModInverse(e, phi)
+		if d == nil {
+			continue // e shares a factor with phi; rare
+		}
+		key := &PrivateKey{
+			PublicKey: PublicKey{N: n, E: e},
+			D:         d,
+			P:         p,
+			Q:         q,
+			Dp:        bn.New().Mod(d, pm1),
+			Dq:        bn.New().Mod(d, qm1),
+			Qinv:      bn.New().ModInverse(q, p),
+		}
+		if key.Qinv == nil {
+			continue
+		}
+		return key, nil
+	}
+}
+
+// Validate performs basic sanity checks on the key.
+func (priv *PrivateKey) Validate() error {
+	n := bn.New().Mul(priv.P, priv.Q)
+	if !n.Equal(priv.N) {
+		return errors.New("rsa: N != P*Q")
+	}
+	one := bn.NewInt(1)
+	pm1 := bn.New().Sub(priv.P, one)
+	qm1 := bn.New().Sub(priv.Q, one)
+	phi := bn.New().Mul(pm1, qm1)
+	de := bn.New().Mod(bn.New().Mul(priv.D, priv.E), phi)
+	if !de.IsOne() {
+		return errors.New("rsa: D*E != 1 mod phi(N)")
+	}
+	return nil
+}
+
+// public applies the public operation m^e mod N.
+func (pub *PublicKey) public(m *bn.Int) *bn.Int {
+	return bn.New().ModExp(m, pub.E, pub.N)
+}
+
+// privateCRT applies the private operation c^d mod N using the
+// Chinese Remainder Theorem, as OpenSSL does: two half-size
+// exponentiations plus a recombination.
+func (priv *PrivateKey) privateCRT(c *bn.Int) *bn.Int {
+	m1 := bn.New().ModExp(c, priv.Dp, priv.P)
+	m2 := bn.New().ModExp(c, priv.Dq, priv.Q)
+	// h = Qinv * (m1 - m2) mod P
+	h := bn.New().Sub(m1, m2)
+	h.Mod(h, priv.P)
+	h.Mul(h, priv.Qinv)
+	h.Mod(h, priv.P)
+	// m = m2 + h*Q
+	m := bn.New().Mul(h, priv.Q)
+	return m.Add(m, m2)
+}
+
+// privatePlain applies c^d mod N without CRT (for cross-checking).
+func (priv *PrivateKey) privatePlain(c *bn.Int) *bn.Int {
+	return bn.New().ModExp(c, priv.D, priv.N)
+}
+
+// blinding holds the multiplicative blinding pair used to defeat the
+// timing attack the paper cites ([3], Brumley & Boneh): A = r^e mod N
+// applied before the private op, Ainv = r^-1 mod N after. OpenSSL
+// refreshes the pair by squaring, which is why the paper's Table 7
+// shows blinding costing ~1% rather than a full exponentiation.
+type blinding struct {
+	A    *bn.Int
+	Ainv *bn.Int
+}
+
+// setupBlinding initializes the blinding pair with fresh randomness.
+func (priv *PrivateKey) setupBlinding(rnd io.Reader) error {
+	for {
+		r, err := bn.New().RandRange(rnd, priv.N)
+		if err != nil {
+			return err
+		}
+		rinv := bn.New().ModInverse(r, priv.N)
+		if rinv == nil {
+			continue
+		}
+		priv.blind = &blinding{A: priv.public(r), Ainv: rinv}
+		return nil
+	}
+}
+
+// updateBlinding refreshes the pair by squaring, OpenSSL-style.
+func (priv *PrivateKey) updateBlinding() {
+	b := priv.blind
+	sq := bn.New().Sqr(b.A)
+	b.A.Mod(sq, priv.N)
+	sq.Sqr(b.Ainv)
+	b.Ainv.Mod(sq, priv.N)
+}
+
+// EncryptPKCS1 encrypts msg with PKCS#1 v1.5 block type 2 padding.
+// msg must be at most Size()-11 bytes.
+func (pub *PublicKey) EncryptPKCS1(rnd io.Reader, msg []byte) ([]byte, error) {
+	k := pub.Size()
+	if len(msg) > k-11 {
+		return nil, errors.New("rsa: message too long for key size")
+	}
+	// EB = 00 || 02 || PS (non-zero random) || 00 || msg
+	eb := make([]byte, k)
+	eb[1] = 2
+	ps := eb[2 : k-len(msg)-1]
+	if err := fillNonZero(rnd, ps); err != nil {
+		return nil, err
+	}
+	copy(eb[k-len(msg):], msg)
+	m := bn.New().SetBytes(eb)
+	c := pub.public(m)
+	return c.FillBytes(make([]byte, k)), nil
+}
+
+func fillNonZero(rnd io.Reader, p []byte) error {
+	if _, err := io.ReadFull(rnd, p); err != nil {
+		return err
+	}
+	for i := range p {
+		for p[i] == 0 {
+			var b [1]byte
+			if _, err := io.ReadFull(rnd, b[:]); err != nil {
+				return err
+			}
+			p[i] = b[0]
+		}
+	}
+	return nil
+}
+
+// DecryptPKCS1 decrypts a PKCS#1 v1.5 block type 2 ciphertext with
+// blinding and CRT, without phase attribution.
+func (priv *PrivateKey) DecryptPKCS1(rnd io.Reader, ct []byte) ([]byte, error) {
+	return priv.decrypt(rnd, ct, nil)
+}
+
+// DecryptPKCS1Profiled is DecryptPKCS1 with per-phase time
+// attribution into b, regenerating the paper's Table 7 rows.
+func (priv *PrivateKey) DecryptPKCS1Profiled(rnd io.Reader, ct []byte, b *perf.Breakdown) ([]byte, error) {
+	return priv.decrypt(rnd, ct, b)
+}
+
+func (priv *PrivateKey) decrypt(rnd io.Reader, ct []byte, prof *perf.Breakdown) ([]byte, error) {
+	var t perf.Timer
+	phase := func(name string) {
+		if prof != nil {
+			t.Stop()
+			prof.Add(name, t.Elapsed())
+			t.Reset()
+			t.Start()
+		}
+	}
+	if prof != nil {
+		t.Start()
+	}
+
+	// Phase 1: init — context and buffer setup.
+	k := priv.Size()
+	if len(ct) != k {
+		return nil, errors.New("rsa: ciphertext length does not match key size")
+	}
+	work := make([]byte, 0, 2*k)
+	_ = work
+	phase(PhaseInit)
+
+	// Phase 2: octet string -> multi-precision integer.
+	c := bn.New().SetBytes(ct)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, errors.New("rsa: ciphertext out of range")
+	}
+	phase(PhaseDataToBN)
+
+	// Phase 3: blinding (setup on first use, then squaring refresh).
+	// The pair is taken under the key's lock so concurrent
+	// decryptions each use a consistent (A, A⁻¹).
+	priv.blindMu.Lock()
+	if priv.blind == nil {
+		if err := priv.setupBlinding(rnd); err != nil {
+			priv.blindMu.Unlock()
+			return nil, err
+		}
+	} else {
+		priv.updateBlinding()
+	}
+	blindA := priv.blind.A.Clone()
+	blindAinv := priv.blind.Ainv.Clone()
+	priv.blindMu.Unlock()
+	blinded := bn.New().Mul(c, blindA)
+	blinded.Mod(blinded, priv.N)
+	phase(PhaseBlinding)
+
+	// Phase 4: the RSA computation c^d mod N via CRT.
+	m := priv.privateCRT(blinded)
+	// Unblind: multiply by r^-1. (Charged to computation, as OpenSSL
+	// performs it inside rsa_eay_private_decrypt's compute section.)
+	m.Mul(m, blindAinv)
+	m.Mod(m, priv.N)
+	phase(PhaseComputation)
+
+	// Phase 5: multi-precision integer -> octet string.
+	eb := m.FillBytes(make([]byte, k))
+	phase(PhaseBNToData)
+
+	// Phase 6: PKCS#1 block parsing.
+	msg, err := parsePKCS1Type2(eb)
+	phase(PhaseBlockParsing)
+	return msg, err
+}
+
+// parsePKCS1Type2 strips 00 || 02 || PS || 00 padding.
+func parsePKCS1Type2(eb []byte) ([]byte, error) {
+	if len(eb) < 11 || eb[0] != 0 || eb[1] != 2 {
+		return nil, errors.New("rsa: invalid PKCS#1 type 2 padding")
+	}
+	// Find the 00 separator after at least 8 padding bytes.
+	sep := -1
+	for i := 2; i < len(eb); i++ {
+		if eb[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 {
+		return nil, errors.New("rsa: invalid PKCS#1 type 2 padding")
+	}
+	out := make([]byte, len(eb)-sep-1)
+	copy(out, eb[sep+1:])
+	return out, nil
+}

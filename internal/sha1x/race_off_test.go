@@ -1,0 +1,5 @@
+//go:build !race
+
+package sha1x
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sha1x
+
+// raceEnabled reports that the race detector is instrumenting this
+// build, which distorts relative kernel timings.
+const raceEnabled = true

@@ -1,0 +1,160 @@
+package ssl
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/suite"
+)
+
+// Edge-case behavior of the Conn API.
+
+func TestConnectionStateBeforeHandshake(t *testing.T) {
+	ct, _ := Pipe()
+	c := ClientConn(ct, clientCfg(nil))
+	if _, err := c.ConnectionState(); err == nil {
+		t.Fatal("state available before handshake")
+	}
+	if _, err := c.Session(); err == nil {
+		t.Fatal("session available before handshake")
+	}
+}
+
+func TestDoubleHandshakeIsIdempotent(t *testing.T) {
+	id := identity(t)
+	client, server := connect(t, clientCfg(nil), id.ServerConfig(NewPRNG(301)))
+	if err := client.Handshake(); err != nil {
+		t.Fatalf("second Handshake errored: %v", err)
+	}
+	if err := server.Handshake(); err != nil {
+		t.Fatalf("second server Handshake errored: %v", err)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	id := identity(t)
+	client, _ := connect(t, clientCfg(nil), id.ServerConfig(NewPRNG(302)))
+	client.Close()
+	if _, err := client.Write([]byte("too late")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	// Double close is fine.
+	if err := client.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestHandshakeAfterCloseFails(t *testing.T) {
+	ct, _ := Pipe()
+	c := ClientConn(ct, clientCfg(nil))
+	c.Close()
+	if err := c.Handshake(); err == nil {
+		t.Fatal("handshake after close succeeded")
+	}
+}
+
+func TestPartialReads(t *testing.T) {
+	id := identity(t)
+	client, server := connect(t, clientCfg(nil), id.ServerConfig(NewPRNG(303)))
+	go client.Write([]byte("abcdefghij"))
+	// Read the 10-byte record in 1-byte sips.
+	var got []byte
+	buf := make([]byte, 1)
+	for len(got) < 10 {
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "abcdefghij" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyWriteProducesReadableStream(t *testing.T) {
+	id := identity(t)
+	client, server := connect(t, clientCfg(nil), id.ServerConfig(NewPRNG(304)))
+	// An empty write emits an empty record; a subsequent write must
+	// still arrive intact.
+	if _, err := client.Write(nil); err != nil {
+		t.Fatal(err)
+	}
+	go client.Write([]byte("after-empty"))
+	buf := make([]byte, 11)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "after-empty" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestSessionCacheConcurrency(t *testing.T) {
+	cache := handshake.NewSessionCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := []byte{byte(g), byte(i)}
+				cache.Put(&handshake.Session{ID: id, Suite: suite.RSAWithRC4128MD5})
+				cache.Get(id)
+				cache.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", cache.Len())
+	}
+}
+
+func TestConcurrentSessionsShareServerIdentity(t *testing.T) {
+	id := identity(t)
+	cache := handshake.NewSessionCache(128)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ct, st := Pipe()
+			scfg := id.ServerConfig(NewPRNG(uint64(400 + 2*g)))
+			scfg.SessionCache = cache
+			client := ClientConn(ct, &Config{
+				Rand:               NewPRNG(uint64(401 + 2*g)),
+				InsecureSkipVerify: true,
+			})
+			server := ServerConn(st, scfg)
+			done := make(chan error, 1)
+			go func() { done <- client.Handshake() }()
+			if err := server.Handshake(); err != nil {
+				errs <- err
+				return
+			}
+			if err := <-done; err != nil {
+				errs <- err
+				return
+			}
+			go client.Write([]byte{byte(g)})
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(server, buf); err != nil || buf[0] != byte(g) {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 8 {
+		t.Fatalf("cache holds %d sessions, want 8", cache.Len())
+	}
+}

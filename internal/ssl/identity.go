@@ -1,0 +1,37 @@
+package ssl
+
+import (
+	"io"
+	"time"
+
+	"sslperf/internal/rsa"
+	"sslperf/internal/x509lite"
+)
+
+// An Identity is a server's key pair plus its self-signed
+// certificate — everything a ServerConn config needs.
+type Identity struct {
+	Key     *rsa.PrivateKey
+	Cert    *x509lite.Certificate
+	CertDER []byte
+}
+
+// NewIdentity generates an RSA key of the given size and a
+// self-signed certificate for cn valid for a year around now.
+func NewIdentity(rnd io.Reader, bits int, cn string, now time.Time) (*Identity, error) {
+	key, err := rsa.GenerateKey(rnd, bits)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509lite.Create(rnd, cn, &key.PublicKey, cn, key,
+		now.Add(-24*time.Hour), now.Add(365*24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	return &Identity{Key: key, Cert: cert, CertDER: cert.Raw}, nil
+}
+
+// ServerConfig builds a server-side Config using this identity.
+func (id *Identity) ServerConfig(rnd io.Reader) *Config {
+	return &Config{Rand: rnd, Key: id.Key, CertDER: id.CertDER}
+}

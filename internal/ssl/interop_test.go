@@ -1,0 +1,214 @@
+package ssl
+
+import (
+	"bytes"
+	stdrsa "crypto/rsa"
+	stdtls "crypto/tls"
+	stdx509 "crypto/x509"
+	"crypto/x509/pkix"
+	"io"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sslperf/internal/record"
+	"sslperf/internal/suite"
+)
+
+// Interoperability against Go's crypto/tls over TLS 1.0: the
+// strongest possible cross-check of the record layer, handshake,
+// HMAC, and PRF — every byte must satisfy an independent peer.
+
+var (
+	stdOnce sync.Once
+	stdCert stdtls.Certificate
+	stdErr  error
+)
+
+// stdIdentity builds a crypto/tls certificate for the stdlib peer.
+func stdIdentity(t *testing.T) stdtls.Certificate {
+	t.Helper()
+	stdOnce.Do(func() {
+		key, err := stdrsa.GenerateKey(stdRand{}, 1024)
+		if err != nil {
+			stdErr = err
+			return
+		}
+		tmpl := &stdx509.Certificate{
+			SerialNumber: big.NewInt(42),
+			Subject:      pkix.Name{CommonName: "stdlib-peer"},
+			NotBefore:    time.Now().Add(-time.Hour),
+			NotAfter:     time.Now().Add(24 * time.Hour),
+		}
+		der, err := stdx509.CreateCertificate(stdRand{}, tmpl, tmpl, &key.PublicKey, key)
+		if err != nil {
+			stdErr = err
+			return
+		}
+		stdCert = stdtls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+	})
+	if stdErr != nil {
+		t.Fatal(stdErr)
+	}
+	return stdCert
+}
+
+// stdRand adapts our PRNG to the entropy interface stdlib wants in
+// tests (deterministic keygen keeps the suite reproducible).
+type stdRand struct{}
+
+var stdRandSrc = NewPRNG(0xdead)
+
+func (stdRand) Read(p []byte) (int, error) { return stdRandSrc.Read(p) }
+
+// interopSuites maps our suite IDs to crypto/tls cipher suite IDs
+// (they share the wire values).
+var interopSuites = []struct {
+	ours suite.ID
+	std  uint16
+	name string
+}{
+	{suite.RSAWithAES128CBCSHA, stdtls.TLS_RSA_WITH_AES_128_CBC_SHA, "AES128-SHA"},
+	{suite.RSAWithAES256CBCSHA, stdtls.TLS_RSA_WITH_AES_256_CBC_SHA, "AES256-SHA"},
+	{suite.RSAWith3DESEDECBCSHA, stdtls.TLS_RSA_WITH_3DES_EDE_CBC_SHA, "DES-CBC3-SHA"},
+}
+
+// TestInteropStdlibClientToOurServer drives Go's TLS client against
+// this library's server.
+func TestInteropStdlibClientToOurServer(t *testing.T) {
+	id := identity(t) // our 512-bit test identity is too small for stdlib; use 1024
+	_ = id
+	bigID, err := NewIdentity(NewPRNG(0xbeef), 1024, "interop-server", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range interopSuites {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Skip("no loopback:", err)
+			}
+			defer ln.Close()
+
+			srvErr := make(chan error, 1)
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					srvErr <- err
+					return
+				}
+				scfg := bigID.ServerConfig(NewPRNG(71))
+				scfg.Suites = []suite.ID{tc.ours}
+				s := ServerConn(conn, scfg)
+				defer s.Close()
+				buf := make([]byte, 5)
+				if _, err := io.ReadFull(s, buf); err != nil {
+					srvErr <- err
+					return
+				}
+				_, err = s.Write(bytes.ToUpper(buf))
+				srvErr <- err
+			}()
+
+			client, err := stdtls.Dial("tcp", ln.Addr().String(), &stdtls.Config{
+				InsecureSkipVerify: true,
+				MinVersion:         stdtls.VersionTLS10,
+				MaxVersion:         stdtls.VersionTLS10,
+				CipherSuites:       []uint16{tc.std},
+			})
+			if err != nil {
+				t.Fatalf("stdlib client rejected our server: %v", err)
+			}
+			defer client.Close()
+			if _, err := client.Write([]byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 5)
+			if _, err := io.ReadFull(client, buf); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "HELLO" {
+				t.Fatalf("echo = %q", buf)
+			}
+			if err := <-srvErr; err != nil {
+				t.Fatal(err)
+			}
+			if cs := client.ConnectionState(); cs.CipherSuite != tc.std {
+				t.Fatalf("negotiated %#04x", cs.CipherSuite)
+			}
+		})
+	}
+}
+
+// TestInteropOurClientToStdlibServer drives this library's client
+// against Go's TLS server.
+func TestInteropOurClientToStdlibServer(t *testing.T) {
+	cert := stdIdentity(t)
+	for _, tc := range interopSuites {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := stdtls.Listen("tcp", "127.0.0.1:0", &stdtls.Config{
+				Certificates: []stdtls.Certificate{cert},
+				MinVersion:   stdtls.VersionTLS10,
+				MaxVersion:   stdtls.VersionTLS10,
+				CipherSuites: []uint16{tc.std},
+			})
+			if err != nil {
+				t.Skip("no loopback:", err)
+			}
+			defer ln.Close()
+
+			srvErr := make(chan error, 1)
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					srvErr <- err
+					return
+				}
+				defer conn.Close()
+				buf := make([]byte, 4)
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					srvErr <- err
+					return
+				}
+				_, err = conn.Write(append(buf, buf...))
+				srvErr <- err
+			}()
+
+			tcpConn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			client := ClientConn(tcpConn, &Config{
+				Rand:               NewPRNG(72),
+				Version:            record.VersionTLS10,
+				Suites:             []suite.ID{tc.ours},
+				InsecureSkipVerify: true,
+			})
+			defer client.Close()
+			if err := client.Handshake(); err != nil {
+				t.Fatalf("our client rejected stdlib server: %v", err)
+			}
+			cs, _ := client.ConnectionState()
+			if cs.Version != record.VersionTLS10 || cs.Suite.ID != tc.ours {
+				t.Fatalf("state: %+v", cs)
+			}
+			if _, err := client.Write([]byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if _, err := io.ReadFull(client, buf); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "pingping" {
+				t.Fatalf("reply = %q", buf)
+			}
+			if err := <-srvErr; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package ssl
+
+import "encoding/binary"
+
+// PRNG is a fast, seedable xoshiro256**-based pseudorandom byte
+// source. The experiments need *deterministic* randomness so runs are
+// reproducible; it is NOT cryptographically secure and must never
+// protect real traffic (see the package comment).
+type PRNG struct {
+	s [4]uint64
+}
+
+// NewPRNG returns a PRNG seeded from seed via splitmix64.
+func NewPRNG(seed uint64) *PRNG {
+	p := &PRNG{}
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range p.s {
+		p.s[i] = next()
+	}
+	// A zero state would be degenerate; splitmix64 cannot produce
+	// four zeros, but guard anyway.
+	if p.s[0]|p.s[1]|p.s[2]|p.s[3] == 0 {
+		p.s[0] = 1
+	}
+	return p
+}
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// next produces the next 64-bit value (xoshiro256**).
+func (p *PRNG) next() uint64 {
+	result := rotl64(p.s[1]*5, 7) * 9
+	t := p.s[1] << 17
+	p.s[2] ^= p.s[0]
+	p.s[3] ^= p.s[1]
+	p.s[1] ^= p.s[2]
+	p.s[0] ^= p.s[3]
+	p.s[2] ^= t
+	p.s[3] = rotl64(p.s[3], 45)
+	return result
+}
+
+// Read fills buf with pseudorandom bytes. It never fails.
+func (p *PRNG) Read(buf []byte) (int, error) {
+	n := len(buf)
+	for len(buf) >= 8 {
+		binary.LittleEndian.PutUint64(buf, p.next())
+		buf = buf[8:]
+	}
+	if len(buf) > 0 {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], p.next())
+		copy(buf, tail[:])
+	}
+	return n, nil
+}

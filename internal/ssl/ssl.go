@@ -1,0 +1,255 @@
+// Package ssl ties the record layer and handshake protocol into a
+// connection API modeled on crypto/tls: Conn wraps any
+// io.ReadWriteCloser transport (TCP, or the in-memory pipe that
+// replicates the paper's standalone ssltest setup) and exposes
+// Read/Write over the negotiated SSLv3 channel.
+//
+// This package reproduces a 2005 performance study. SSLv3 and these
+// cipher suites are obsolete and the default randomness source is a
+// seedable PRNG; do not use it to protect real data.
+package ssl
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/record"
+	"sslperf/internal/rsa"
+	"sslperf/internal/suite"
+	"sslperf/internal/x509lite"
+)
+
+// Config carries the parameters for both connection ends.
+type Config struct {
+	// Rand is the randomness source; NewPRNG(seed) gives the
+	// deterministic generator the experiments use. Defaults to a
+	// time-seeded PRNG.
+	Rand io.Reader
+
+	// Suites restricts the cipher suites offered/accepted, in
+	// preference order. Nil means all registered suites.
+	Suites []suite.ID
+
+	// Version selects the protocol: for clients the version to offer
+	// (default SSL 3.0, the paper's protocol; record.VersionTLS10
+	// enables the TLS 1.0 extension), for servers the maximum to
+	// accept (default TLS 1.0, i.e. both).
+	Version uint16
+
+	// Time supplies the current time (certificate validity and hello
+	// randoms). Defaults to time.Now.
+	Time func() time.Time
+
+	// Server side.
+	Key     *rsa.PrivateKey
+	CertDER []byte
+	// CertChain holds intermediate certificates (leaf's issuer
+	// first) sent after the leaf.
+	CertChain    [][]byte
+	SessionCache *handshake.SessionCache
+
+	// Client side.
+	Session            *handshake.Session
+	RootCert           *x509lite.Certificate
+	ServerName         string
+	InsecureSkipVerify bool
+}
+
+func (c *Config) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return NewPRNG(uint64(time.Now().UnixNano()))
+}
+
+// A Conn is one end of an SSL connection. Read/Write trigger the
+// handshake on first use. Conn serializes access internally, but the
+// handshake itself must not race with Read/Write from other
+// goroutines.
+type Conn struct {
+	mu        sync.Mutex
+	transport io.ReadWriteCloser
+	layer     *record.Layer
+	cfg       *Config
+	isClient  bool
+
+	handshakeDone bool
+	result        *handshake.Result
+	anatomy       *handshake.Anatomy
+
+	readBuf []byte
+	eof     bool
+	closed  bool
+}
+
+// ClientConn wraps transport as the client end.
+func ClientConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
+	return &Conn{transport: transport, layer: record.NewLayer(transport), cfg: cfg, isClient: true}
+}
+
+// ServerConn wraps transport as the server end.
+func ServerConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
+	return &Conn{transport: transport, layer: record.NewLayer(transport), cfg: cfg}
+}
+
+// SetAnatomy installs a recorder that will capture the server-side
+// handshake anatomy (Table 2). Must be called before Handshake.
+func (c *Conn) SetAnatomy(a *handshake.Anatomy) { c.anatomy = a }
+
+// Handshake runs the handshake if it has not run yet.
+func (c *Conn) Handshake() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handshakeLocked()
+}
+
+func (c *Conn) handshakeLocked() error {
+	if c.handshakeDone {
+		return nil
+	}
+	if c.closed {
+		return errors.New("ssl: connection closed")
+	}
+	var err error
+	if c.isClient {
+		c.result, err = handshake.Client(c.layer, &handshake.ClientConfig{
+			Rand:               c.cfg.rand(),
+			Suites:             c.cfg.Suites,
+			Time:               c.cfg.Time,
+			Version:            c.cfg.Version,
+			Session:            c.cfg.Session,
+			RootCert:           c.cfg.RootCert,
+			ServerName:         c.cfg.ServerName,
+			InsecureSkipVerify: c.cfg.InsecureSkipVerify,
+		})
+	} else {
+		c.result, err = handshake.Server(c.layer, &handshake.ServerConfig{
+			Key:        c.cfg.Key,
+			CertDER:    c.cfg.CertDER,
+			Chain:      c.cfg.CertChain,
+			Rand:       c.cfg.rand(),
+			Cache:      c.cfg.SessionCache,
+			Suites:     c.cfg.Suites,
+			Time:       c.cfg.Time,
+			MaxVersion: c.cfg.Version,
+		}, c.anatomy)
+	}
+	if err != nil {
+		return err
+	}
+	c.handshakeDone = true
+	return nil
+}
+
+// ConnectionState reports the negotiated parameters; valid after
+// Handshake.
+type ConnectionState struct {
+	Suite     *suite.Suite
+	Resumed   bool
+	SessionID []byte
+	Version   uint16 // record.VersionSSL30 or record.VersionTLS10
+}
+
+// ConnectionState returns the post-handshake state.
+func (c *Conn) ConnectionState() (ConnectionState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.handshakeDone {
+		return ConnectionState{}, errors.New("ssl: handshake has not completed")
+	}
+	return ConnectionState{
+		Suite:     c.result.Suite,
+		Resumed:   c.result.Resumed,
+		SessionID: c.result.Session.ID,
+		Version:   c.result.Session.Version,
+	}, nil
+}
+
+// Session returns the resumable session state; valid after Handshake.
+func (c *Conn) Session() (*handshake.Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.handshakeDone {
+		return nil, errors.New("ssl: handshake has not completed")
+	}
+	return c.result.Session, nil
+}
+
+// Write sends application data.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.handshakeLocked(); err != nil {
+		return 0, err
+	}
+	if c.closed {
+		return 0, errors.New("ssl: connection closed")
+	}
+	if err := c.layer.WriteRecord(record.TypeApplicationData, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read receives application data.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.handshakeLocked(); err != nil {
+		return 0, err
+	}
+	for len(c.readBuf) == 0 {
+		if c.eof {
+			return 0, io.EOF
+		}
+		typ, payload, err := c.layer.ReadRecord()
+		if err != nil {
+			if ae, ok := err.(*record.AlertError); ok &&
+				ae.Description == record.AlertCloseNotify {
+				c.eof = true
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		switch typ {
+		case record.TypeApplicationData:
+			c.readBuf = payload
+		case record.TypeHandshake:
+			// Ignore post-handshake handshake records (e.g.
+			// HelloRequest); renegotiation is not supported.
+		default:
+			return 0, errors.New("ssl: unexpected record type " + typ.String())
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Close sends close_notify and closes the transport.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.handshakeDone {
+		c.layer.SendClose() // best effort
+	}
+	return c.transport.Close()
+}
+
+// Stats returns the record-layer counters.
+func (c *Conn) Stats() record.Stats { return c.layer.Stats }
+
+// SetCryptoObserver routes record-layer crypto timings (cipher and
+// MAC operations with payload sizes) to fn; pass nil to remove. The
+// Figure 2 and Table 1 experiments use this to measure the crypto
+// share of bulk transfers.
+func (c *Conn) SetCryptoObserver(fn func(op record.CryptoOp, bytes int, d time.Duration)) {
+	c.layer.OnCrypto = fn
+}

@@ -1,0 +1,154 @@
+package ssl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/record"
+	"sslperf/internal/suite"
+)
+
+func TestTLS10HandshakeAllSuites(t *testing.T) {
+	id := identity(t)
+	for _, s := range suite.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			ccfg := clientCfg(func(c *Config) {
+				c.Suites = []suite.ID{s.ID}
+				c.Version = record.VersionTLS10
+			})
+			client, server := connect(t, ccfg, id.ServerConfig(NewPRNG(60)))
+			cs, err := client.ConnectionState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs.Version != record.VersionTLS10 {
+				t.Fatalf("negotiated %#04x, want TLS 1.0", cs.Version)
+			}
+			msg := []byte("tls1.0 over " + s.Name)
+			go client.Write(msg)
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(server, buf); err != nil || !bytes.Equal(buf, msg) {
+				t.Fatalf("transfer: %q %v", buf, err)
+			}
+		})
+	}
+}
+
+func TestVersionNegotiationDowngrade(t *testing.T) {
+	id := identity(t)
+	// TLS client, SSL3-max server: must settle on SSL 3.0.
+	ccfg := clientCfg(func(c *Config) { c.Version = record.VersionTLS10 })
+	scfg := id.ServerConfig(NewPRNG(61))
+	scfg.Version = record.VersionSSL30
+	client, server := connect(t, ccfg, scfg)
+	cs, _ := client.ConnectionState()
+	if cs.Version != record.VersionSSL30 {
+		t.Fatalf("negotiated %#04x, want SSL 3.0", cs.Version)
+	}
+	ss, _ := server.ConnectionState()
+	if ss.Version != record.VersionSSL30 {
+		t.Fatal("server disagrees on version")
+	}
+	go client.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSL3ClientAgainstDefaultServer(t *testing.T) {
+	id := identity(t)
+	// The default client (SSLv3, the paper's protocol) still works
+	// against the default server (max TLS 1.0).
+	client, _ := connect(t, clientCfg(nil), id.ServerConfig(NewPRNG(62)))
+	cs, _ := client.ConnectionState()
+	if cs.Version != record.VersionSSL30 {
+		t.Fatalf("negotiated %#04x", cs.Version)
+	}
+}
+
+func TestTLSResumption(t *testing.T) {
+	id := identity(t)
+	cache := handshake.NewSessionCache(8)
+	scfg := id.ServerConfig(NewPRNG(63))
+	scfg.SessionCache = cache
+	ccfg := clientCfg(func(c *Config) { c.Version = record.VersionTLS10 })
+	client, _ := connect(t, ccfg, scfg)
+	sess, _ := client.Session()
+	if sess.Version != record.VersionTLS10 {
+		t.Fatalf("session version %#04x", sess.Version)
+	}
+
+	scfg2 := id.ServerConfig(NewPRNG(64))
+	scfg2.SessionCache = cache
+	ccfg2 := clientCfg(func(c *Config) {
+		c.Version = record.VersionTLS10
+		c.Session = sess
+	})
+	client2, _ := connect(t, ccfg2, scfg2)
+	cs, _ := client2.ConnectionState()
+	if !cs.Resumed || cs.Version != record.VersionTLS10 {
+		t.Fatalf("resumed=%v version=%#04x", cs.Resumed, cs.Version)
+	}
+}
+
+func TestSSL3SessionNotResumedUnderTLS(t *testing.T) {
+	id := identity(t)
+	cache := handshake.NewSessionCache(8)
+	// Establish under SSL 3.0.
+	scfg := id.ServerConfig(NewPRNG(65))
+	scfg.SessionCache = cache
+	client, _ := connect(t, clientCfg(nil), scfg)
+	sess, _ := client.Session()
+
+	// Offer it from a TLS 1.0 client: versions differ, so the server
+	// must do a full handshake rather than resume across versions.
+	scfg2 := id.ServerConfig(NewPRNG(66))
+	scfg2.SessionCache = cache
+	ccfg2 := clientCfg(func(c *Config) {
+		c.Version = record.VersionTLS10
+		c.Session = sess
+	})
+	client2, _ := connect(t, ccfg2, scfg2)
+	cs, _ := client2.ConnectionState()
+	if cs.Resumed {
+		t.Fatal("session resumed across protocol versions")
+	}
+}
+
+func TestTLSDHEHandshake(t *testing.T) {
+	id := identity(t)
+	ccfg := clientCfg(func(c *Config) {
+		c.Version = record.VersionTLS10
+		c.Suites = []suite.ID{suite.DHERSAWithAES128CBCSHA}
+	})
+	client, server := connect(t, ccfg, id.ServerConfig(NewPRNG(67)))
+	cs, _ := client.ConnectionState()
+	if cs.Version != record.VersionTLS10 || cs.Suite.Kx != suite.KxDHERSA {
+		t.Fatalf("state: %+v", cs)
+	}
+	go client.Write([]byte("fs"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLSLargeTransfer(t *testing.T) {
+	id := identity(t)
+	ccfg := clientCfg(func(c *Config) { c.Version = record.VersionTLS10 })
+	client, server := connect(t, ccfg, id.ServerConfig(NewPRNG(68)))
+	data := make([]byte, 100_000)
+	NewPRNG(69).Read(data)
+	go func() {
+		client.Write(data)
+		client.Close()
+	}()
+	got, err := io.ReadAll(server)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("transfer: %d bytes, err %v", len(got), err)
+	}
+}

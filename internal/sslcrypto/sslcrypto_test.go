@@ -1,0 +1,224 @@
+package sslcrypto
+
+import (
+	"bytes"
+	stdmd5 "crypto/md5"
+	stdsha1 "crypto/sha1"
+	"math/rand"
+	"testing"
+)
+
+// stdDerive reimplements the SSLv3 ladder with the standard library's
+// hashes as an independent oracle for the derivation plumbing.
+func stdDerive(secret, seed []byte, n int) []byte {
+	var out []byte
+	for i := 0; len(out) < n; i++ {
+		label := bytes.Repeat([]byte{byte('A' + i)}, i+1)
+		sha := stdsha1.New()
+		sha.Write(label)
+		sha.Write(secret)
+		sha.Write(seed)
+		md := stdmd5.New()
+		md.Write(secret)
+		md.Write(sha.Sum(nil))
+		out = md.Sum(out)
+	}
+	return out[:n]
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestMasterSecretAgainstOracle(t *testing.T) {
+	pre := randBytes(1, 48)
+	cr := randBytes(2, 32)
+	sr := randBytes(3, 32)
+	got := MasterSecret(pre, cr, sr)
+	want := stdDerive(pre, append(append([]byte{}, cr...), sr...), 48)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("master secret mismatch:\n got %x\nwant %x", got, want)
+	}
+	if len(got) != MasterSecretLen {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestKeyBlockAgainstOracle(t *testing.T) {
+	master := randBytes(4, 48)
+	cr := randBytes(5, 32)
+	sr := randBytes(6, 32)
+	for _, n := range []int{1, 16, 48, 72, 104, 137} {
+		got := KeyBlock(master, cr, sr, n)
+		// Key block seeds server random FIRST.
+		want := stdDerive(master, append(append([]byte{}, sr...), cr...), n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key block n=%d mismatch", n)
+		}
+		if len(got) != n {
+			t.Fatalf("key block length %d != %d", len(got), n)
+		}
+	}
+}
+
+func TestKeyBlockDeterministicAndSeedOrderMatters(t *testing.T) {
+	master := randBytes(7, 48)
+	cr := randBytes(8, 32)
+	sr := randBytes(9, 32)
+	a := KeyBlock(master, cr, sr, 64)
+	b := KeyBlock(master, cr, sr, 64)
+	if !bytes.Equal(a, b) {
+		t.Fatal("key block not deterministic")
+	}
+	c := KeyBlock(master, sr, cr, 64)
+	if bytes.Equal(a, c) {
+		t.Fatal("swapping randoms should change the key block")
+	}
+	// Prefix property: a longer request extends a shorter one.
+	long := KeyBlock(master, cr, sr, 80)
+	if !bytes.Equal(long[:64], a) {
+		t.Fatal("key block is not prefix-consistent")
+	}
+}
+
+func TestMACSizesAndNames(t *testing.T) {
+	if MACMD5.Size() != 16 || MACSHA1.Size() != 20 || MACNull.Size() != 0 {
+		t.Fatal("MAC sizes wrong")
+	}
+	if MACMD5.String() != "MD5" || MACSHA1.String() != "SHA-1" || MACNull.String() != "NULL" {
+		t.Fatal("names wrong")
+	}
+}
+
+// stdMAC reimplements the SSLv3 SHA-1 MAC with stdlib hashes.
+func stdMACSHA1(secret []byte, seq uint64, ct byte, payload []byte) []byte {
+	hdr := make([]byte, 11)
+	for i := 0; i < 8; i++ {
+		hdr[i] = byte(seq >> (56 - 8*i))
+	}
+	hdr[8] = ct
+	hdr[9] = byte(len(payload) >> 8)
+	hdr[10] = byte(len(payload))
+	inner := stdsha1.New()
+	inner.Write(secret)
+	inner.Write(bytes.Repeat([]byte{0x36}, 40))
+	inner.Write(hdr)
+	inner.Write(payload)
+	outer := stdsha1.New()
+	outer.Write(secret)
+	outer.Write(bytes.Repeat([]byte{0x5c}, 40))
+	outer.Write(inner.Sum(nil))
+	return outer.Sum(nil)
+}
+
+func TestMACAgainstOracle(t *testing.T) {
+	secret := randBytes(10, 20)
+	m, err := NewMAC(MACSHA1, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello record layer")
+	got := m.Compute(7, 23, payload)
+	want := stdMACSHA1(secret, 7, 23, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("MAC mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	secret := randBytes(11, 16)
+	m, _ := NewMAC(MACMD5, secret)
+	payload := []byte("data")
+	mac := m.Compute(1, 23, payload)
+	if !m.Verify(1, 23, payload, mac) {
+		t.Fatal("verify rejected valid MAC")
+	}
+	if m.Verify(2, 23, payload, mac) {
+		t.Fatal("verify accepted wrong sequence number")
+	}
+	if m.Verify(1, 22, payload, mac) {
+		t.Fatal("verify accepted wrong content type")
+	}
+	bad := append([]byte{}, mac...)
+	bad[0] ^= 1
+	if m.Verify(1, 23, payload, bad) {
+		t.Fatal("verify accepted corrupted MAC")
+	}
+	if m.Verify(1, 23, payload, mac[:10]) {
+		t.Fatal("verify accepted truncated MAC")
+	}
+}
+
+func TestMACSequenceBinding(t *testing.T) {
+	secret := randBytes(12, 20)
+	m, _ := NewMAC(MACSHA1, secret)
+	a := m.Compute(0, 23, []byte("x"))
+	b := m.Compute(1, 23, []byte("x"))
+	if bytes.Equal(a, b) {
+		t.Fatal("MAC ignores sequence number (replay would be possible)")
+	}
+}
+
+func TestMACRejectsBadSecret(t *testing.T) {
+	if _, err := NewMAC(MACSHA1, make([]byte, 16)); err == nil {
+		t.Fatal("accepted wrong-size secret")
+	}
+}
+
+func TestNullMAC(t *testing.T) {
+	m, err := NewMAC(MACNull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 0 || m.Compute(0, 23, []byte("x")) != nil {
+		t.Fatal("null MAC should produce nothing")
+	}
+	if !m.Verify(0, 23, []byte("x"), nil) {
+		t.Fatal("null MAC should verify empty")
+	}
+}
+
+func TestFinishedHashSenderSeparation(t *testing.T) {
+	master := randBytes(13, 48)
+	f := NewFinishedHash()
+	f.Write([]byte("client hello bytes"))
+	f.Write([]byte("server hello bytes"))
+	c := f.Sum(SenderClient, master)
+	s := f.Sum(SenderServer, master)
+	if len(c) != 36 || len(s) != 36 {
+		t.Fatalf("finished hash lengths %d/%d, want 36", len(c), len(s))
+	}
+	if bytes.Equal(c, s) {
+		t.Fatal("CLNT and SRVR hashes must differ")
+	}
+	// Sum must not disturb the running state.
+	c2 := f.Sum(SenderClient, master)
+	if !bytes.Equal(c, c2) {
+		t.Fatal("Sum changed the transcript state")
+	}
+}
+
+func TestFinishedHashTranscriptBinding(t *testing.T) {
+	master := randBytes(14, 48)
+	f1 := NewFinishedHash()
+	f1.Write([]byte("message A"))
+	f2 := NewFinishedHash()
+	f2.Write([]byte("message B"))
+	if bytes.Equal(f1.Sum(SenderClient, master), f2.Sum(SenderClient, master)) {
+		t.Fatal("different transcripts produced equal finished hashes")
+	}
+	// More transcript -> different hash.
+	before := f1.Sum(SenderClient, master)
+	f1.Write([]byte("more"))
+	if bytes.Equal(before, f1.Sum(SenderClient, master)) {
+		t.Fatal("appending to transcript did not change the hash")
+	}
+}
+
+func TestSenderLabels(t *testing.T) {
+	if string(SenderClient) != "CLNT" || string(SenderServer) != "SRVR" {
+		t.Fatalf("labels = %q %q", SenderClient, SenderServer)
+	}
+}

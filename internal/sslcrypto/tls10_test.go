@@ -1,0 +1,144 @@
+package sslcrypto
+
+import (
+	"bytes"
+	"crypto/hmac"
+	stdmd5 "crypto/md5"
+	stdsha1 "crypto/sha1"
+	"hash"
+	"testing"
+)
+
+// stdPHash reimplements P_hash with the standard library as an
+// independent oracle.
+func stdPHash(newHash func() hash.Hash, secret, seed []byte, n int) []byte {
+	h := hmac.New(newHash, secret)
+	h.Write(seed)
+	a := h.Sum(nil)
+	var out []byte
+	for len(out) < n {
+		h.Reset()
+		h.Write(a)
+		h.Write(seed)
+		out = h.Sum(out)
+		h.Reset()
+		h.Write(a)
+		a = h.Sum(nil)
+	}
+	return out[:n]
+}
+
+func stdPRF10(secret []byte, label string, seed []byte, n int) []byte {
+	ls := append([]byte(label), seed...)
+	half := (len(secret) + 1) / 2
+	out := stdPHash(stdmd5.New, secret[:half], ls, n)
+	sha := stdPHash(stdsha1.New, secret[len(secret)-half:], ls, n)
+	for i := range out {
+		out[i] ^= sha[i]
+	}
+	return out
+}
+
+func TestPRF10AgainstOracle(t *testing.T) {
+	for _, tc := range []struct {
+		secretLen, seedLen, outLen int
+		label                      string
+	}{
+		{48, 64, 48, "master secret"},
+		{48, 64, 104, "key expansion"},
+		{47, 10, 12, "client finished"}, // odd secret exercises the overlap
+		{1, 1, 100, "x"},
+	} {
+		secret := randBytes(int64(tc.secretLen), tc.secretLen)
+		seed := randBytes(int64(tc.seedLen+1), tc.seedLen)
+		got := PRF10(secret, tc.label, seed, tc.outLen)
+		want := stdPRF10(secret, tc.label, seed, tc.outLen)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("PRF10(%d,%q,%d,%d) mismatch", tc.secretLen, tc.label, tc.seedLen, tc.outLen)
+		}
+	}
+}
+
+func TestTLSMasterAndKeyBlock(t *testing.T) {
+	pre := randBytes(31, 48)
+	cr := randBytes(32, 32)
+	sr := randBytes(33, 32)
+	master := TLSMasterSecret(pre, cr, sr)
+	if len(master) != 48 {
+		t.Fatalf("master len %d", len(master))
+	}
+	want := stdPRF10(pre, "master secret", append(append([]byte{}, cr...), sr...), 48)
+	if !bytes.Equal(master, want) {
+		t.Fatal("TLS master secret mismatch")
+	}
+	kb := TLSKeyBlock(master, cr, sr, 104)
+	wantKB := stdPRF10(master, "key expansion", append(append([]byte{}, sr...), cr...), 104)
+	if !bytes.Equal(kb, wantKB) {
+		t.Fatal("TLS key block mismatch")
+	}
+}
+
+func TestTLSVerifyData(t *testing.T) {
+	master := randBytes(34, 48)
+	f := NewFinishedHash()
+	f.Write([]byte("transcript bytes"))
+	c := f.TLSVerifyData(true, master)
+	s := f.TLSVerifyData(false, master)
+	if len(c) != 12 || len(s) != 12 {
+		t.Fatalf("lengths %d/%d", len(c), len(s))
+	}
+	if bytes.Equal(c, s) {
+		t.Fatal("client and server verify data equal")
+	}
+	// Stable across calls (Sum must not disturb state).
+	if !bytes.Equal(c, f.TLSVerifyData(true, master)) {
+		t.Fatal("verify data unstable")
+	}
+	// Oracle: PRF over stdlib digests of the same transcript.
+	md := stdmd5.New()
+	md.Write([]byte("transcript bytes"))
+	sh := stdsha1.New()
+	sh.Write([]byte("transcript bytes"))
+	want := stdPRF10(master, "client finished", append(md.Sum(nil), sh.Sum(nil)...), 12)
+	if !bytes.Equal(c, want) {
+		t.Fatal("TLS verify data disagrees with oracle")
+	}
+}
+
+func TestTLSMACAgainstStdlib(t *testing.T) {
+	secret := randBytes(35, 20)
+	m, err := NewTLSMAC(MACSHA1, secret, 0x0301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("tls record payload")
+	got := m.Compute(9, 23, payload)
+	// Oracle.
+	h := hmac.New(stdsha1.New, secret)
+	hdr := []byte{0, 0, 0, 0, 0, 0, 0, 9, 23, 0x03, 0x01, 0, byte(len(payload))}
+	h.Write(hdr)
+	h.Write(payload)
+	if !bytes.Equal(got, h.Sum(nil)) {
+		t.Fatal("TLS MAC mismatch")
+	}
+	// Version is bound into the MAC.
+	m2, _ := NewTLSMAC(MACSHA1, secret, 0x0300)
+	if bytes.Equal(got, m2.Compute(9, 23, payload)) {
+		t.Fatal("MAC ignores version")
+	}
+	// Differs from the SSLv3 construction with the same key.
+	m3, _ := NewMAC(MACSHA1, secret)
+	if bytes.Equal(got, m3.Compute(9, 23, payload)) {
+		t.Fatal("TLS MAC equals SSLv3 MAC")
+	}
+}
+
+func TestTLSMACRejectsBadSecret(t *testing.T) {
+	if _, err := NewTLSMAC(MACSHA1, make([]byte, 19), 0x0301); err == nil {
+		t.Fatal("accepted wrong-size secret")
+	}
+	m, err := NewTLSMAC(MACNull, nil, 0x0301)
+	if err != nil || m.Compute(0, 23, nil) != nil {
+		t.Fatal("null TLS MAC broken")
+	}
+}

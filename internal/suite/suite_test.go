@@ -1,0 +1,147 @@
+package suite
+
+import (
+	"testing"
+
+	"sslperf/internal/sslcrypto"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registered %d suites, want 11", len(all))
+	}
+	// The paper's suite must be present under its OpenSSL name.
+	s, err := ByName("DES-CBC3-SHA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != RSAWith3DESEDECBCSHA || s.KeyLen != 24 || s.IVLen != 8 {
+		t.Fatalf("DES-CBC3-SHA = %+v", s)
+	}
+	if s.MAC != sslcrypto.MACSHA1 {
+		t.Fatal("paper suite must use SHA-1 MAC")
+	}
+	if s.Kx != KxRSA {
+		t.Fatal("paper suite must use RSA key exchange")
+	}
+}
+
+func TestDHESuites(t *testing.T) {
+	for _, name := range []string{
+		"EDH-RSA-DES-CBC3-SHA", "DHE-RSA-AES128-SHA", "DHE-RSA-AES256-SHA",
+	} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Kx != KxDHERSA {
+			t.Errorf("%s: Kx = %v, want DHE", name, s.Kx)
+		}
+	}
+	// The DHE 3DES suite mirrors the RSA one's record geometry.
+	a, _ := ByName("DES-CBC3-SHA")
+	b, _ := ByName("EDH-RSA-DES-CBC3-SHA")
+	if a.KeyLen != b.KeyLen || a.IVLen != b.IVLen || a.MAC != b.MAC {
+		t.Fatal("EDH 3DES record parameters differ from RSA 3DES")
+	}
+}
+
+func TestByIDAndErrors(t *testing.T) {
+	s, err := ByID(RSAWithAES128CBCSHA)
+	if err != nil || s.Name != "AES128-SHA" {
+		t.Fatalf("ByID: %v %v", s, err)
+	}
+	if _, err := ByID(0x1234); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	if _, err := ByName("CHACHA20"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestKeyMaterialLen(t *testing.T) {
+	cases := map[string]int{
+		"NULL-MD5":     2 * 16,            // two MAC secrets only
+		"RC4-MD5":      2*16 + 2*16,       // + two keys
+		"DES-CBC3-SHA": 2*20 + 2*24 + 2*8, // + IVs
+		"AES256-SHA":   2*20 + 2*32 + 2*16,
+	}
+	for name, want := range cases {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.KeyMaterialLen(); got != want {
+			t.Errorf("%s key material = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestNewCipherValidation(t *testing.T) {
+	s, _ := ByName("AES128-SHA")
+	if _, err := s.NewCipher(make([]byte, 15), make([]byte, 16), true); err == nil {
+		t.Fatal("accepted short key")
+	}
+	if _, err := s.NewCipher(make([]byte, 16), make([]byte, 15), true); err == nil {
+		t.Fatal("accepted short IV")
+	}
+	c, err := s.NewCipher(make([]byte, 16), make([]byte, 16), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockSize() != 16 {
+		t.Fatalf("block size = %d", c.BlockSize())
+	}
+}
+
+func TestStreamAndNullBlockSizes(t *testing.T) {
+	for name, want := range map[string]int{
+		"NULL-SHA": 1, "RC4-SHA": 16, // RC4 keylen 16, blocksize 1
+	} {
+		s, _ := ByName(name)
+		key := make([]byte, s.KeyLen)
+		c, err := s.NewCipher(key, nil, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.BlockSize() != 1 {
+			t.Errorf("%s block size = %d, want 1 (stream)", name, c.BlockSize())
+		}
+		_ = want
+	}
+}
+
+func TestBlockCipherDirectionality(t *testing.T) {
+	s, _ := ByName("AES128-SHA")
+	enc, _ := s.NewCipher(make([]byte, 16), make([]byte, 16), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decrypt on encrypt-side cipher did not panic")
+		}
+	}()
+	enc.Decrypt(make([]byte, 16))
+}
+
+func TestChoose(t *testing.T) {
+	s, err := Choose([]ID{0x9999, RSAWithRC4128SHA, RSAWithAES128CBCSHA})
+	if err != nil || s.ID != RSAWithRC4128SHA {
+		t.Fatalf("Choose = %v, %v", s, err)
+	}
+	if _, err := Choose([]ID{0x9999}); err == nil {
+		t.Fatal("Choose succeeded with no shared suite")
+	}
+	if _, err := Choose(nil); err == nil {
+		t.Fatal("Choose succeeded with empty offer")
+	}
+}
+
+func TestNullCipherPassthrough(t *testing.T) {
+	s, _ := ByName("NULL-MD5")
+	c, _ := s.NewCipher(nil, nil, true)
+	buf := []byte("unchanged")
+	c.Encrypt(buf)
+	if string(buf) != "unchanged" {
+		t.Fatal("null cipher modified data")
+	}
+}

@@ -1,0 +1,75 @@
+package webmodel
+
+import (
+	"time"
+
+	"sslperf/internal/perf"
+)
+
+// Table 1 component names, as the paper labels them.
+const (
+	ComponentLibcrypto = "libcrypto"
+	ComponentLibssl    = "libssl"
+	ComponentHTTPD     = "httpd"
+	ComponentVMLinux   = "vmlinux"
+	ComponentOther     = "other"
+)
+
+// EnvironmentModel carries the modeled (non-measured) per-transaction
+// costs of the web-server environment: the Apache request handling,
+// the kernel's TCP/socket work, and the remaining libraries. Costs
+// are in model cycles (perf.ModelGHz), split into a fixed
+// per-transaction part and a per-payload-byte part.
+//
+// The defaults are calibrated so that at the paper's operating point
+// (1 KB response, DES-CBC3-SHA, full handshake) the non-SSL
+// components sit in the same proportion to the measured SSL cost as
+// in the paper's Table 1 (httpd 1.84%, vmlinux 17.51%, other 9.00%
+// against libcrypto+libssl 71.65%). From there every other file size
+// is extrapolation: the kernel cost grows per byte (packetization,
+// copies), httpd and libc are mostly fixed per request.
+type EnvironmentModel struct {
+	HTTPDFixed  float64 // cycles per transaction
+	HTTPDPerKB  float64 // cycles per KB of response
+	KernelFixed float64 // cycles per transaction (TCP setup/teardown)
+	KernelPerKB float64 // cycles per KB (segmentation, copies, interrupts)
+	OtherFixed  float64
+	OtherPerKB  float64
+}
+
+// CalibrateEnvironment builds the model from a measured SSL cost at
+// the 1 KB point, reproducing the paper's Table 1 ratios there.
+func CalibrateEnvironment(sslAt1KB time.Duration) EnvironmentModel {
+	sslCycles := perf.Cycles(sslAt1KB)
+	// Paper Table 1 shares: ssl = 71.65, httpd = 1.84, kernel =
+	// 17.51, other = 9.00. Scale each against the measured SSL cost.
+	httpd := sslCycles * 1.84 / 71.65
+	kernel := sslCycles * 17.51 / 71.65
+	other := sslCycles * 9.00 / 71.65
+	return EnvironmentModel{
+		// Apache work is dominated by request parsing and dispatch:
+		// 90% fixed, the rest scales with the response it shovels.
+		HTTPDFixed: 0.9 * httpd,
+		HTTPDPerKB: 0.1 * httpd, // at the 1KB calibration point
+		// Kernel work splits between connection handling and
+		// per-byte segmentation/copying; at 1KB with handshake
+		// packets dominating, call it 60/40.
+		KernelFixed: 0.6 * kernel,
+		KernelPerKB: 0.4 * kernel,
+		OtherFixed:  0.8 * other,
+		OtherPerKB:  0.2 * other,
+	}
+}
+
+// Transaction composes the measured SSL result with the modeled
+// environment into a Table 1-style breakdown (values in cycles).
+func (m EnvironmentModel) Transaction(res *TransactionResult) *perf.Breakdown {
+	b := perf.NewBreakdown()
+	kb := float64(res.BytesSent) / 1024
+	b.Add(ComponentLibcrypto, res.Crypto.Total())
+	b.Add(ComponentLibssl, res.SSLNonCrypto())
+	b.Add(ComponentHTTPD, perf.Duration(m.HTTPDFixed+m.HTTPDPerKB*kb))
+	b.Add(ComponentVMLinux, perf.Duration(m.KernelFixed+m.KernelPerKB*kb))
+	b.Add(ComponentOther, perf.Duration(m.OtherFixed+m.OtherPerKB*kb))
+	return b
+}

@@ -1,0 +1,41 @@
+package x509lite
+
+import (
+	"testing"
+	"time"
+
+	"sslperf/internal/rsa"
+)
+
+// FuzzParse feeds the certificate parser arbitrary DER; it must never
+// panic, and a certificate it accepts must have a usable public key.
+func FuzzParse(f *testing.F) {
+	// Seed with a real certificate and simple mutants.
+	key, err := rsa.GenerateKey(newRandReader(776), 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cert, err := Create(newRandReader(777), "fuzz-seed", &key.PublicKey,
+		"fuzz-seed", key,
+		time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cert.Raw)
+	f.Add(cert.Raw[:len(cert.Raw)/2])
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if c.PublicKey == nil || c.PublicKey.N == nil {
+			t.Fatal("accepted certificate without a key")
+		}
+		// These must not panic on accepted certificates.
+		c.ValidAt(time.Now())
+		c.CheckSignature(c.PublicKey)
+	})
+}

@@ -1,0 +1,275 @@
+// Package x509lite implements the minimal slice of X.509 needed for
+// the SSL handshake's server Certificate message: v1 certificates
+// with CN-only names, RSA public keys, and sha1WithRSAEncryption
+// signatures. These are the "X509 functions" of the paper's Table 2
+// step 3.
+package x509lite
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sslperf/internal/asn1lite"
+	"sslperf/internal/bn"
+	"sslperf/internal/rsa"
+	"sslperf/internal/sha1x"
+)
+
+// Object identifiers used in certificates.
+var (
+	oidRSAEncryption = []uint32{1, 2, 840, 113549, 1, 1, 1}
+	oidSHA1WithRSA   = []uint32{1, 2, 840, 113549, 1, 1, 5}
+	oidCommonName    = []uint32{2, 5, 4, 3}
+)
+
+// A Certificate is a parsed (or to-be-issued) certificate.
+type Certificate struct {
+	SerialNumber *bn.Int
+	SubjectCN    string
+	IssuerCN     string
+	NotBefore    time.Time
+	NotAfter     time.Time
+	PublicKey    *rsa.PublicKey
+
+	// SigAlg is the signature AlgorithmIdentifier's OID. Parsing
+	// tolerates algorithms this package cannot verify (certificates
+	// from other stacks are still usable for their key when the
+	// application skips verification); CheckSignature requires
+	// sha1WithRSAEncryption.
+	SigAlg []uint32
+
+	Raw       []byte // full DER certificate
+	RawTBS    []byte // DER TBSCertificate (the signed bytes)
+	Signature []byte
+}
+
+// encodeName builds the single-RDN CN-only Name this package supports.
+func encodeName(cn string) []byte {
+	return asn1lite.EncodeSequence(
+		asn1lite.EncodeSet(
+			asn1lite.EncodeSequence(
+				asn1lite.EncodeOID(oidCommonName...),
+				asn1lite.EncodePrintableString(cn),
+			),
+		),
+	)
+}
+
+func encodeAlgSHA1RSA() []byte {
+	return asn1lite.EncodeSequence(
+		asn1lite.EncodeOID(oidSHA1WithRSA...),
+		asn1lite.EncodeNull(),
+	)
+}
+
+// encodeSPKI builds the SubjectPublicKeyInfo for an RSA key.
+func encodeSPKI(pub *rsa.PublicKey) []byte {
+	rsaKey := asn1lite.EncodeSequence(
+		asn1lite.EncodeInteger(pub.N),
+		asn1lite.EncodeInteger(pub.E),
+	)
+	return asn1lite.EncodeSequence(
+		asn1lite.EncodeSequence(
+			asn1lite.EncodeOID(oidRSAEncryption...),
+			asn1lite.EncodeNull(),
+		),
+		asn1lite.EncodeBitString(rsaKey),
+	)
+}
+
+// Create issues a certificate for subjectCN holding pub, signed by
+// issuerKey under issuerCN. Pass the same key and name for a
+// self-signed certificate.
+func Create(rnd io.Reader, subjectCN string, pub *rsa.PublicKey,
+	issuerCN string, issuerKey *rsa.PrivateKey,
+	notBefore, notAfter time.Time) (*Certificate, error) {
+
+	serial, err := bn.New().Rand(rnd, 63, false)
+	if err != nil {
+		return nil, err
+	}
+	tbs := asn1lite.EncodeSequence(
+		asn1lite.EncodeInteger(serial),
+		encodeAlgSHA1RSA(),
+		encodeName(issuerCN),
+		asn1lite.EncodeSequence(
+			asn1lite.EncodeUTCTime(notBefore),
+			asn1lite.EncodeUTCTime(notAfter),
+		),
+		encodeName(subjectCN),
+		encodeSPKI(pub),
+	)
+	digest := sha1x.Sum20(tbs)
+	sig, err := issuerKey.SignPKCS1(rsa.HashSHA1, digest[:])
+	if err != nil {
+		return nil, err
+	}
+	raw := asn1lite.EncodeSequence(tbs, encodeAlgSHA1RSA(), asn1lite.EncodeBitString(sig))
+	return Parse(raw)
+}
+
+// Parse decodes a DER certificate produced by this package (or any
+// v1 sha1WithRSA certificate with CN-only names).
+func Parse(der []byte) (*Certificate, error) {
+	top, rest, err := asn1lite.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 || top.Tag != asn1lite.TagSequence {
+		return nil, errors.New("x509lite: trailing bytes or not a SEQUENCE")
+	}
+	parts, err := top.Children()
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != 3 {
+		return nil, errors.New("x509lite: certificate must have 3 elements")
+	}
+	cert := &Certificate{Raw: top.Raw, RawTBS: parts[0].Raw}
+
+	// Signature algorithm + signature value. Unknown algorithms are
+	// recorded and rejected only at verification time.
+	if cert.SigAlg, err = algOID(parts[1]); err != nil {
+		return nil, err
+	}
+	sig, err := parts[2].BitString()
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+
+	// TBSCertificate.
+	tbsParts, err := parts[0].Children()
+	if err != nil {
+		return nil, err
+	}
+	if len(tbsParts) < 6 {
+		return nil, errors.New("x509lite: TBS too short")
+	}
+	i := 0
+	if tbsParts[0].Class() == 2 { // optional [0] version
+		i = 1
+	}
+	if cert.SerialNumber, err = tbsParts[i].Integer(); err != nil {
+		return nil, err
+	}
+	if _, err := algOID(tbsParts[i+1]); err != nil {
+		return nil, err
+	}
+	if cert.IssuerCN, err = parseName(tbsParts[i+2]); err != nil {
+		return nil, err
+	}
+	validity, err := tbsParts[i+3].Children()
+	if err != nil || len(validity) != 2 {
+		return nil, errors.New("x509lite: bad validity")
+	}
+	if cert.NotBefore, err = validity[0].UTCTime(); err != nil {
+		return nil, err
+	}
+	if cert.NotAfter, err = validity[1].UTCTime(); err != nil {
+		return nil, err
+	}
+	if cert.SubjectCN, err = parseName(tbsParts[i+4]); err != nil {
+		return nil, err
+	}
+	if cert.PublicKey, err = parseSPKI(tbsParts[i+5]); err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+func algOID(v asn1lite.Value) ([]uint32, error) {
+	kids, err := v.Children()
+	if err != nil || len(kids) < 1 {
+		return nil, errors.New("x509lite: bad AlgorithmIdentifier")
+	}
+	return kids[0].OID()
+}
+
+func parseName(v asn1lite.Value) (string, error) {
+	rdns, err := v.Children()
+	if err != nil {
+		return "", err
+	}
+	for _, rdn := range rdns {
+		avas, err := rdn.Children()
+		if err != nil {
+			return "", err
+		}
+		for _, ava := range avas {
+			kids, err := ava.Children()
+			if err != nil || len(kids) != 2 {
+				return "", errors.New("x509lite: bad AVA")
+			}
+			oid, err := kids[0].OID()
+			if err != nil {
+				return "", err
+			}
+			if asn1lite.OIDEqual(oid, oidCommonName) {
+				return kids[1].String()
+			}
+		}
+	}
+	return "", errors.New("x509lite: no CN in name")
+}
+
+func parseSPKI(v asn1lite.Value) (*rsa.PublicKey, error) {
+	kids, err := v.Children()
+	if err != nil || len(kids) != 2 {
+		return nil, errors.New("x509lite: bad SPKI")
+	}
+	alg, err := kids[0].Children()
+	if err != nil || len(alg) < 1 {
+		return nil, errors.New("x509lite: bad SPKI algorithm")
+	}
+	oid, err := alg[0].OID()
+	if err != nil {
+		return nil, err
+	}
+	if !asn1lite.OIDEqual(oid, oidRSAEncryption) {
+		return nil, fmt.Errorf("x509lite: unsupported key algorithm %v", oid)
+	}
+	keyBits, err := kids[1].BitString()
+	if err != nil {
+		return nil, err
+	}
+	keyVal, rest, err := asn1lite.Parse(keyBits)
+	if err != nil || len(rest) != 0 {
+		return nil, errors.New("x509lite: bad RSAPublicKey")
+	}
+	nums, err := keyVal.Children()
+	if err != nil || len(nums) != 2 {
+		return nil, errors.New("x509lite: bad RSAPublicKey structure")
+	}
+	n, err := nums[0].Integer()
+	if err != nil {
+		return nil, err
+	}
+	e, err := nums[1].Integer()
+	if err != nil {
+		return nil, err
+	}
+	return &rsa.PublicKey{N: n, E: e}, nil
+}
+
+// CheckSignatureFrom verifies that parent's key signed c.
+func (c *Certificate) CheckSignatureFrom(parent *Certificate) error {
+	return c.CheckSignature(parent.PublicKey)
+}
+
+// CheckSignature verifies c's signature with the given key. Only
+// sha1WithRSAEncryption signatures can be verified.
+func (c *Certificate) CheckSignature(pub *rsa.PublicKey) error {
+	if !asn1lite.OIDEqual(c.SigAlg, oidSHA1WithRSA) {
+		return fmt.Errorf("x509lite: cannot verify signature algorithm %v", c.SigAlg)
+	}
+	digest := sha1x.Sum20(c.RawTBS)
+	return pub.VerifyPKCS1(rsa.HashSHA1, digest[:], c.Signature)
+}
+
+// ValidAt reports whether now falls within the validity window.
+func (c *Certificate) ValidAt(now time.Time) bool {
+	return !now.Before(c.NotBefore) && !now.After(c.NotAfter)
+}

@@ -1,0 +1,183 @@
+package x509lite
+
+import (
+	stdx509 "crypto/x509"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sslperf/internal/rsa"
+)
+
+type randReader struct{ r *rand.Rand }
+
+func newRandReader(seed int64) *randReader {
+	return &randReader{r: rand.New(rand.NewSource(seed))}
+}
+
+func (rr *randReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(rr.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+var (
+	keyOnce sync.Once
+	caKey   *rsa.PrivateKey
+	srvKey  *rsa.PrivateKey
+)
+
+func keys(t *testing.T) (*rsa.PrivateKey, *rsa.PrivateKey) {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		if caKey, err = rsa.GenerateKey(newRandReader(2001), 512); err != nil {
+			panic(err)
+		}
+		if srvKey, err = rsa.GenerateKey(newRandReader(2002), 512); err != nil {
+			panic(err)
+		}
+	})
+	return caKey, srvKey
+}
+
+var (
+	notBefore = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	notAfter  = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func TestSelfSignedRoundTrip(t *testing.T) {
+	ca, _ := keys(t)
+	cert, err := Create(newRandReader(1), "test-server", &ca.PublicKey,
+		"test-server", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.SubjectCN != "test-server" || cert.IssuerCN != "test-server" {
+		t.Fatalf("names: %q / %q", cert.SubjectCN, cert.IssuerCN)
+	}
+	if !cert.NotBefore.Equal(notBefore) || !cert.NotAfter.Equal(notAfter) {
+		t.Fatalf("validity: %v - %v", cert.NotBefore, cert.NotAfter)
+	}
+	if !cert.PublicKey.N.Equal(ca.N) {
+		t.Fatal("public key mismatch")
+	}
+	if err := cert.CheckSignatureFrom(cert); err != nil {
+		t.Fatalf("self-signature: %v", err)
+	}
+}
+
+func TestChainSignature(t *testing.T) {
+	ca, srv := keys(t)
+	caCert, err := Create(newRandReader(2), "test-ca", &ca.PublicKey,
+		"test-ca", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCert, err := Create(newRandReader(3), "server.example", &srv.PublicKey,
+		"test-ca", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srvCert.CheckSignatureFrom(caCert); err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+	// Verifying against the wrong issuer must fail.
+	if err := srvCert.CheckSignature(&srv.PublicKey); err == nil {
+		t.Fatal("verified against wrong key")
+	}
+}
+
+func TestParseReencode(t *testing.T) {
+	ca, _ := keys(t)
+	cert, err := Create(newRandReader(4), "reparse", &ca.PublicKey,
+		"reparse", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(cert.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SubjectCN != cert.SubjectCN || !again.SerialNumber.Equal(cert.SerialNumber) {
+		t.Fatal("re-parse differs")
+	}
+	if err := again.CheckSignatureFrom(cert); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdlibCanParseOurCert(t *testing.T) {
+	ca, _ := keys(t)
+	cert, err := Create(newRandReader(5), "interop", &ca.PublicKey,
+		"interop", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := stdx509.ParseCertificate(cert.Raw)
+	if err != nil {
+		t.Fatalf("crypto/x509 rejected our DER: %v", err)
+	}
+	if std.Subject.CommonName != "interop" {
+		t.Fatalf("stdlib CN = %q", std.Subject.CommonName)
+	}
+	if std.SerialNumber.Text(16) != cert.SerialNumber.Hex() {
+		t.Fatalf("stdlib serial %s != %s", std.SerialNumber.Text(16), cert.SerialNumber.Hex())
+	}
+	// 512-bit sha1WithRSA is long obsolete, so stdlib refuses the
+	// signature check — structural parse agreement is the interop
+	// point here; our own CheckSignature covers validity.
+	if err := cert.CheckSignatureFrom(cert); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedCertFailsVerify(t *testing.T) {
+	ca, _ := keys(t)
+	cert, err := Create(newRandReader(6), "tamper", &ca.PublicKey,
+		"tamper", ca, notBefore, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte{}, cert.Raw...)
+	// Flip a bit inside the TBS (the subject CN bytes).
+	for i := range raw {
+		if raw[i] == 't' && raw[i+1] == 'a' && raw[i+2] == 'm' {
+			raw[i] ^= 1
+			break
+		}
+	}
+	mut, err := Parse(raw)
+	if err != nil {
+		t.Skip("mutation made cert unparseable; fine")
+	}
+	if err := mut.CheckSignatureFrom(cert); err == nil {
+		t.Fatal("tampered certificate verified")
+	}
+}
+
+func TestValidAt(t *testing.T) {
+	ca, _ := keys(t)
+	cert, _ := Create(newRandReader(7), "valid", &ca.PublicKey,
+		"valid", ca, notBefore, notAfter)
+	if !cert.ValidAt(time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("should be valid mid-window")
+	}
+	if cert.ValidAt(time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("valid before NotBefore")
+	}
+	if cert.ValidAt(time.Date(2007, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("valid after NotAfter")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte{0x30, 0x03, 1, 2, 3}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("accepted empty")
+	}
+}
