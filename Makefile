@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro results examples clean
+.PHONY: all build vet test race check bench repro results examples clean
 
 all: build vet test
 
@@ -13,11 +13,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The default test path runs the telemetry suite under -race as well:
+# telemetry is the one layer whose whole contract is concurrency.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...
+
+# CI gate: static checks plus the race detector on the packages that
+# live connections emit through concurrently.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry/... ./internal/ssl/... ./internal/record/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./...

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	sslanatomy -experiment table2      # one experiment
-//	sslanatomy -experiment all         # the whole evaluation
-//	sslanatomy -list                   # what's available
+//	sslanatomy -experiment table2        # one experiment
+//	sslanatomy -experiment all           # the whole evaluation
+//	sslanatomy -experiment table2 -json  # machine-readable output
+//	sslanatomy -list                     # what's available
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 		ghz        = flag.Float64("ghz", 2.26, "model clock frequency for cycle conversion")
 		suiteName  = flag.String("suite", "", "cipher suite for protocol experiments (default DES-CBC3-SHA)")
 		useTLS     = flag.Bool("tls", false, "run protocol experiments over TLS 1.0 instead of SSL 3.0")
+		jsonOut    = flag.Bool("json", false, "emit reports as a JSON array instead of text tables")
 	)
 	flag.Parse()
 	perf.ModelGHz = *ghz
@@ -64,12 +67,25 @@ func main() {
 		exps = []*core.Experiment{e}
 	}
 
+	var reports []*core.Report
 	for _, e := range exps {
 		rep, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Println(rep)
+		if *jsonOut {
+			reports = append(reports, rep)
+		} else {
+			fmt.Println(rep)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"sslperf/internal/handshake"
 	"sslperf/internal/record"
 	"sslperf/internal/ssl"
 	"sslperf/internal/suite"
+	"sslperf/internal/telemetry"
 	"sslperf/internal/workload"
 )
 
@@ -25,6 +28,10 @@ func main() {
 		suiteName = flag.String("suite", "", "restrict to one cipher suite (e.g. DES-CBC3-SHA)")
 		seed      = flag.Uint64("seed", 0, "PRNG seed (0 = time-based)")
 		ssl3Only  = flag.Bool("ssl3only", false, "refuse TLS 1.0 (SSL 3.0 only)")
+		telAddr   = flag.String("telemetry", "",
+			"serve /metrics, /debug/flightrecorder, and pprof on this address (e.g. :9090)")
+		flightRec = flag.Int("flightrecorder", telemetry.DefaultFlightRecorderSize,
+			"flight-recorder ring size (events)")
 	)
 	flag.Parse()
 
@@ -53,6 +60,23 @@ func main() {
 	if *ssl3Only {
 		cfg.Version = record.VersionSSL30
 	}
+	if *telAddr != "" {
+		reg := telemetry.NewRegistrySize(*flightRec)
+		cfg.Telemetry = reg
+		mux := http.NewServeMux()
+		telemetry.Register(mux, reg)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("telemetry on http://%s/metrics", *telAddr)
+			if err := http.ListenAndServe(*telAddr, mux); err != nil {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -73,7 +97,10 @@ func serve(tc net.Conn, cfg *ssl.Config, payload []byte) {
 	conn := ssl.ServerConn(tc, cfg)
 	defer conn.Close()
 	if err := conn.Handshake(); err != nil {
-		log.Printf("%s: handshake: %v", tc.RemoteAddr(), err)
+		// The telemetry registry (when enabled) has already counted
+		// this failure under the same reason tag via ssl.Conn.
+		log.Printf("%s: handshake failed (%s): %v",
+			tc.RemoteAddr(), ssl.FailureReason(err), err)
 		return
 	}
 	state, _ := conn.ConnectionState()

@@ -164,3 +164,52 @@ func TestEnginePipelinedThroughput(t *testing.T) {
 	t.Logf("serial %v, pipelined %v, speedup %.2fx", serial, piped,
 		float64(serial)/float64(piped))
 }
+
+// TestEnginePipelinedSharedBreakdown checks the cross-goroutine
+// attribution: the hashing-unit goroutine and the cipher unit add
+// into one SharedBreakdown concurrently, and the pipelined output
+// still matches the serial one.
+func TestEnginePipelinedSharedBreakdown(t *testing.T) {
+	mk := func() *Engine {
+		e, err := NewEngine(make([]byte, 16), make([]byte, 16),
+			make([]byte, 20), sslcrypto.MACSHA1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	es := mk()
+	want, err := es.EncryptFragmentSerial(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep := mk()
+	ep.Perf = perf.NewSharedBreakdown()
+	const iters = 50
+	for i := 0; i < iters; i++ {
+		ep.Reset()
+		got, err := ep.EncryptFragmentPipelined(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("instrumented pipelined output differs from serial")
+		}
+	}
+	b := ep.Perf.Snapshot()
+	if b.Count("mac") != iters {
+		t.Fatalf("mac attributions = %d, want %d", b.Count("mac"), iters)
+	}
+	if b.Count("aes") != 2*iters { // data blocks + tail per fragment
+		t.Fatalf("aes attributions = %d, want %d", b.Count("aes"), 2*iters)
+	}
+	if b.Elapsed("mac") == 0 || b.Elapsed("aes") == 0 {
+		t.Fatal("attributed time should be non-zero")
+	}
+}

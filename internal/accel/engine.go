@@ -5,6 +5,7 @@ import (
 
 	"sslperf/internal/aes"
 	"sslperf/internal/cbc"
+	"sslperf/internal/perf"
 	"sslperf/internal/sslcrypto"
 )
 
@@ -20,6 +21,12 @@ type Engine struct {
 	iv  []byte
 	mac *sslcrypto.MAC
 	seq uint64
+
+	// Perf, when non-nil, receives "mac" and "aes" time attributions
+	// from the pipelined path. It must be a SharedBreakdown (not a
+	// plain Breakdown) because the hashing unit runs on its own
+	// goroutine, concurrent with the cipher unit.
+	Perf *perf.SharedBreakdown
 }
 
 // NewEngine builds an engine with an AES key, CBC IV, and a MAC
@@ -74,7 +81,11 @@ func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	macCh := make(chan []byte, 1)
 	seq := e.seq
 	e.seq++
-	go func() { macCh <- e.mac.Compute(seq, 23, data) }()
+	go func() {
+		var mac []byte
+		e.Perf.Time("mac", func() { mac = e.mac.Compute(seq, 23, data) })
+		macCh <- mac
+	}()
 
 	macLen := e.mac.Size()
 	n := e.pad(len(data) + macLen)
@@ -87,13 +98,13 @@ func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	}
 	// Encrypt the whole data blocks now, in parallel with the MAC.
 	whole := len(data) / bs * bs
-	enc.CryptBlocks(frag[:whole], frag[:whole])
+	e.Perf.Time("aes", func() { enc.CryptBlocks(frag[:whole], frag[:whole]) })
 
 	// Join: place MAC and padding, then encrypt the tail.
 	mac := <-macCh
 	copy(frag[len(data):], mac)
 	frag[n-1] = byte(n - len(data) - macLen - 1)
-	enc.CryptBlocks(frag[whole:], frag[whole:])
+	e.Perf.Time("aes", func() { enc.CryptBlocks(frag[whole:], frag[whole:]) })
 	return frag, nil
 }
 

@@ -81,14 +81,16 @@ func (c *Config) scale(n int) int {
 	return n
 }
 
-// A Report is one experiment's rendered result.
+// A Report is one experiment's rendered result. It marshals to JSON
+// (tables as {title, header, rows}) for the sslanatomy -json mode
+// that feeds machine-readable bench trajectories.
 type Report struct {
-	ID    string
-	Title string
+	ID    string `json:"id"`
+	Title string `json:"title"`
 	// Tables holds the regenerated paper tables/series.
-	Tables []*perf.Table
+	Tables []*perf.Table `json:"tables"`
 	// Notes carries paper-vs-measured commentary.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the full report.

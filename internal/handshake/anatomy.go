@@ -51,11 +51,26 @@ func (s *Step) CryptoTotal() time.Duration {
 	return sum
 }
 
+// A StepObserver streams step boundaries and crypto calls as the
+// handshake FSM crosses them — the live counterpart of the recorded
+// Steps slice, used by the telemetry flight recorder. A step that is
+// suspended and resumed around I/O waits reports StepEnd once per
+// close with its cumulative elapsed time.
+type StepObserver interface {
+	StepStart(index int, name, desc string)
+	StepEnd(index int, name string, elapsed time.Duration)
+	CryptoCall(step, fn string, elapsed time.Duration)
+}
+
 // An Anatomy records the per-step, per-crypto-call timing of one
 // server handshake. A nil *Anatomy is a valid no-op recorder, so the
 // fast path costs one pointer test per hook.
 type Anatomy struct {
 	Steps []Step
+
+	// Observer, when non-nil, receives each step boundary and crypto
+	// call as it happens. Set it before the handshake starts.
+	Observer StepObserver
 
 	stepStart time.Time
 	open      bool
@@ -71,6 +86,9 @@ func (a *Anatomy) startStep(index int, name, desc string) {
 	}
 	a.endStep()
 	a.Steps = append(a.Steps, Step{Index: index, Name: name, Desc: desc})
+	if a.Observer != nil {
+		a.Observer.StepStart(index, name, desc)
+	}
 	a.stepStart = time.Now()
 	a.open = true
 }
@@ -83,6 +101,9 @@ func (a *Anatomy) endStep() {
 	cur := &a.Steps[len(a.Steps)-1]
 	cur.Elapsed += time.Since(a.stepStart)
 	a.open = false
+	if a.Observer != nil {
+		a.Observer.StepEnd(cur.Index, cur.Name, cur.Elapsed)
+	}
 }
 
 // resumeStep continues timing the most recent step (used when a step
@@ -108,6 +129,9 @@ func (a *Anatomy) crypto(name string, fn func()) {
 	if len(a.Steps) > 0 {
 		cur := &a.Steps[len(a.Steps)-1]
 		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
+		if a.Observer != nil {
+			a.Observer.CryptoCall(cur.Name, name, d)
+		}
 	}
 }
 

@@ -571,6 +571,9 @@ func (s *serverState) observeLayer() func() {
 			name = FnPriEncryption
 		}
 		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
+		if s.a.Observer != nil {
+			s.a.Observer.CryptoCall(cur.Name, name, d)
+		}
 	}
 	return func() { s.layer.OnCrypto = prev }
 }

@@ -309,3 +309,49 @@ func TestTraceString(t *testing.T) {
 		t.Fatalf("Trace.String missing content:\n%s", out)
 	}
 }
+
+// TestBreakdownMergeCountSemantics pins down the count bookkeeping:
+// Merge adds other's counts, not one-per-region, and regions new to
+// the receiver keep their full count and first-seen order.
+func TestBreakdownMergeCountSemantics(t *testing.T) {
+	a := NewBreakdown()
+	a.Add("x", time.Second)
+	a.Add("x", time.Second)
+
+	b := NewBreakdown()
+	for i := 0; i < 5; i++ {
+		b.Add("x", time.Second)
+	}
+	for i := 0; i < 3; i++ {
+		b.Add("new", time.Second)
+	}
+	a.Merge(b)
+
+	if got := a.Count("x"); got != 7 {
+		t.Fatalf("count(x) = %d, want 2+5=7", got)
+	}
+	if got := a.Count("new"); got != 3 {
+		t.Fatalf("count(new) = %d, want 3", got)
+	}
+	if got := a.Elapsed("new"); got != 3*time.Second {
+		t.Fatalf("elapsed(new) = %v, want 3s", got)
+	}
+	if names := a.Names(); len(names) != 2 || names[0] != "x" || names[1] != "new" {
+		t.Fatalf("names = %v", names)
+	}
+
+	// Merging an empty breakdown changes nothing.
+	before := a.Total()
+	a.Merge(NewBreakdown())
+	if a.Total() != before || a.Count("x") != 7 {
+		t.Fatal("merge of empty breakdown mutated receiver")
+	}
+
+	// Merge is count-accurate even when the source region count is 1.
+	c := NewBreakdown()
+	c.Add("solo", time.Second)
+	a.Merge(c)
+	if got := a.Count("solo"); got != 1 {
+		t.Fatalf("count(solo) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"sync"
+	"time"
+)
+
+// A SharedBreakdown is a mutex-wrapped Breakdown for measurements
+// aggregated across goroutines — e.g. the accel crypto-engine
+// pipeline, where the hashing goroutine and the cipher goroutine
+// attribute time concurrently. Plain Breakdown stays single-owner and
+// lock-free for the sequential experiments.
+type SharedBreakdown struct {
+	mu sync.Mutex
+	b  *Breakdown
+}
+
+// NewSharedBreakdown returns an empty shared breakdown.
+func NewSharedBreakdown() *SharedBreakdown {
+	return &SharedBreakdown{b: NewBreakdown()}
+}
+
+// Add attributes d to region name. Safe for concurrent use; a nil
+// receiver is a no-op so instrumentation hooks need no guards.
+func (s *SharedBreakdown) Add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.b.Add(name, d)
+	s.mu.Unlock()
+}
+
+// Time executes fn, attributing its duration to region name, and
+// returns that duration. On a nil receiver fn still runs, untimed.
+func (s *SharedBreakdown) Time(name string, fn func()) time.Duration {
+	if s == nil {
+		fn()
+		return 0
+	}
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	s.Add(name, d)
+	return d
+}
+
+// Merge adds all of other's regions into s.
+func (s *SharedBreakdown) Merge(other *Breakdown) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.b.Merge(other)
+	s.mu.Unlock()
+}
+
+// Snapshot returns an independent single-owner copy of the current
+// state, safe to render or merge without further locking.
+func (s *SharedBreakdown) Snapshot() *Breakdown {
+	out := NewBreakdown()
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	out.Merge(s.b)
+	s.mu.Unlock()
+	return out
+}

@@ -1,0 +1,64 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedBreakdownConcurrentAdds(t *testing.T) {
+	s := NewSharedBreakdown()
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Add("mac", time.Microsecond)
+				s.Time("aes", func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	b := s.Snapshot()
+	if b.Count("mac") != workers*per || b.Count("aes") != workers*per {
+		t.Fatalf("counts = %d/%d, want %d", b.Count("mac"), b.Count("aes"), workers*per)
+	}
+	if b.Elapsed("mac") != workers*per*time.Microsecond {
+		t.Fatalf("mac elapsed = %v", b.Elapsed("mac"))
+	}
+}
+
+func TestSharedBreakdownNilIsSafe(t *testing.T) {
+	var s *SharedBreakdown
+	s.Add("x", time.Second)
+	ran := false
+	s.Time("x", func() { ran = true })
+	if !ran {
+		t.Fatal("nil Time must still run fn")
+	}
+	s.Merge(NewBreakdown())
+	if b := s.Snapshot(); b.Total() != 0 {
+		t.Fatalf("nil snapshot total = %v", b.Total())
+	}
+}
+
+func TestSharedBreakdownSnapshotIsIndependent(t *testing.T) {
+	s := NewSharedBreakdown()
+	s.Add("a", time.Millisecond)
+	snap := s.Snapshot()
+	s.Add("a", time.Millisecond)
+	if snap.Elapsed("a") != time.Millisecond {
+		t.Fatalf("snapshot mutated: %v", snap.Elapsed("a"))
+	}
+	other := NewBreakdown()
+	other.Add("b", 2*time.Millisecond)
+	other.Add("b", time.Millisecond)
+	s.Merge(other)
+	b := s.Snapshot()
+	if b.Count("b") != 2 || b.Elapsed("b") != 3*time.Millisecond {
+		t.Fatalf("merge: count=%d elapsed=%v", b.Count("b"), b.Elapsed("b"))
+	}
+}

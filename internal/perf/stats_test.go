@@ -82,3 +82,58 @@ func TestSeriesString(t *testing.T) {
 		t.Fatalf("String = %q", s.String())
 	}
 }
+
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Add(7 * time.Millisecond)
+	if s.N() != 1 {
+		t.Fatalf("N = %d", s.N())
+	}
+	// Every percentile of a one-sample series is that sample.
+	for _, p := range []float64{0.001, 1, 50, 90, 99, 100} {
+		if got := s.Percentile(p); got != 7*time.Millisecond {
+			t.Fatalf("p%.3f = %v, want 7ms", p, got)
+		}
+	}
+	if s.Mean() != 7*time.Millisecond || s.StdDev() != 0 {
+		t.Fatalf("mean/stddev = %v/%v", s.Mean(), s.StdDev())
+	}
+	if s.Min() != s.Max() || s.Min() != 7*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSeriesUnsortedInput(t *testing.T) {
+	// Samples arrive in descending and shuffled order; percentile
+	// queries must still see the sorted view.
+	var s Series
+	for _, ms := range []int{90, 10, 50, 100, 30, 70, 20, 80, 60, 40} {
+		s.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := s.Percentile(10); got != 10*time.Millisecond {
+		t.Fatalf("p10 = %v, want 10ms", got)
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Interleave: a later out-of-order Add must invalidate the sort.
+	s.Add(5 * time.Millisecond)
+	if got := s.Percentile(1); got != 5*time.Millisecond {
+		t.Fatalf("p1 after late add = %v, want 5ms", got)
+	}
+}
+
+func TestSeriesEmptyPercentileAllRanks(t *testing.T) {
+	var s Series
+	for _, p := range []float64{-1, 0, 50, 100, 200} {
+		if got := s.Percentile(p); got != 0 {
+			t.Fatalf("empty p%.0f = %v, want 0", p, got)
+		}
+	}
+	if s.String() == "" {
+		t.Fatal("empty series String should still render")
+	}
+}

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -49,6 +50,34 @@ func (t *Table) AddRowf(cells ...interface{}) {
 
 // NumRows reports the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string {
+	return append([]string(nil), t.header...)
+}
+
+// Rows returns a copy of the data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// MarshalJSON renders the table as {title, header, rows} so reports
+// are machine-readable (the sslanatomy -json mode).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{Title: t.Title, Header: t.header, Rows: rows})
+}
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {

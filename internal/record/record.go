@@ -83,13 +83,11 @@ type AlertError struct {
 	Description byte
 }
 
-// Error renders the alert.
-func (a *AlertError) Error() string {
-	lvl := "warning"
-	if a.Level == AlertLevelFatal {
-		lvl = "fatal"
-	}
-	desc := map[byte]string{
+// AlertName returns the protocol name of an alert description code,
+// or "alert(N)" for codes this library does not define. Telemetry
+// uses it as a stable counter tag.
+func AlertName(desc byte) string {
+	name := map[byte]string{
 		AlertCloseNotify:        "close_notify",
 		AlertUnexpectedMessage:  "unexpected_message",
 		AlertBadRecordMAC:       "bad_record_mac",
@@ -98,11 +96,20 @@ func (a *AlertError) Error() string {
 		AlertBadCertificate:     "bad_certificate",
 		AlertCertificateExpired: "certificate_expired",
 		AlertIllegalParameter:   "illegal_parameter",
-	}[a.Description]
-	if desc == "" {
-		desc = fmt.Sprintf("alert(%d)", a.Description)
+	}[desc]
+	if name == "" {
+		name = fmt.Sprintf("alert(%d)", desc)
 	}
-	return fmt.Sprintf("ssl: %s alert: %s", lvl, desc)
+	return name
+}
+
+// Error renders the alert.
+func (a *AlertError) Error() string {
+	lvl := "warning"
+	if a.Level == AlertLevelFatal {
+		lvl = "fatal"
+	}
+	return fmt.Sprintf("ssl: %s alert: %s", lvl, AlertName(a.Description))
 }
 
 // ErrClosed is returned after a close_notify alert has been received.
@@ -124,6 +131,8 @@ type Stats struct {
 	RecordsWritten int
 	BytesRead      int // plaintext payload bytes
 	BytesWritten   int
+	AlertsRead     int
+	AlertsWritten  int
 }
 
 // CryptoOp identifies a record-layer crypto operation for observers.
@@ -167,6 +176,13 @@ type Layer struct {
 	// anatomy experiments use this to attribute bulk-transfer time to
 	// private-key encryption vs hashing (Table 2 steps 6/8, Figure 2).
 	OnCrypto func(op CryptoOp, bytes int, d time.Duration)
+
+	// OnRecord, when non-nil, observes every framed record after it
+	// is written (written=true, per fragment) or successfully opened
+	// (written=false) with its plaintext payload size. The telemetry
+	// layer hangs its live byte/record/alert counters here; when nil
+	// the only cost is one pointer test per record.
+	OnRecord func(written bool, typ ContentType, payloadBytes int)
 
 	// version is the pinned protocol version; 0 means flexible
 	// (accept SSL 3.0 or TLS 1.0, emit SSL 3.0) until the handshake
@@ -284,6 +300,12 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) error {
 	l.out.seq++
 	l.Stats.RecordsWritten++
 	l.Stats.BytesWritten += len(payload)
+	if typ == TypeAlert {
+		l.Stats.AlertsWritten++
+	}
+	if l.OnRecord != nil {
+		l.OnRecord(true, typ, len(payload))
+	}
 	return nil
 }
 
@@ -313,6 +335,12 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	}
 	l.Stats.RecordsRead++
 	l.Stats.BytesRead += len(payload)
+	if typ == TypeAlert {
+		l.Stats.AlertsRead++
+	}
+	if l.OnRecord != nil {
+		l.OnRecord(false, typ, len(payload))
+	}
 	if typ == TypeAlert {
 		if len(payload) != 2 {
 			return 0, nil, errors.New("record: malformed alert")

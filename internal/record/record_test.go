@@ -329,3 +329,63 @@ func TestMACKeyMismatchRejected(t *testing.T) {
 		t.Fatal("accepted record with wrong MAC key")
 	}
 }
+
+// TestOnRecordObserverAndAlertCounters checks the telemetry hook sees
+// every framed record with its payload size and that alert traffic is
+// counted separately.
+func TestOnRecordObserverAndAlertCounters(t *testing.T) {
+	sender, receiver, _ := oneWay()
+	type obs struct {
+		written bool
+		typ     ContentType
+		n       int
+	}
+	var sent, recv []obs
+	sender.OnRecord = func(w bool, typ ContentType, n int) {
+		sent = append(sent, obs{w, typ, n})
+	}
+	receiver.OnRecord = func(w bool, typ ContentType, n int) {
+		recv = append(recv, obs{w, typ, n})
+	}
+
+	payload := bytes.Repeat([]byte{0xAB}, MaxFragment+10) // forces 2 fragments
+	if err := sender.WriteRecord(TypeApplicationData, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.SendAlert(AlertLevelWarning, AlertCloseNotify); err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 3 || !sent[0].written || sent[0].n != MaxFragment ||
+		sent[1].n != 10 || sent[2].typ != TypeAlert || sent[2].n != 2 {
+		t.Fatalf("sent observations = %+v", sent)
+	}
+	if sender.Stats.AlertsWritten != 1 || sender.Stats.RecordsWritten != 3 {
+		t.Fatalf("sender stats = %+v", sender.Stats)
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := receiver.ReadRecord(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := receiver.ReadRecord() // the alert surfaces as an error
+	if ae, ok := err.(*AlertError); !ok || ae.Description != AlertCloseNotify {
+		t.Fatalf("expected close_notify alert, got %v", err)
+	}
+	if len(recv) != 3 || recv[0].written || recv[2].typ != TypeAlert {
+		t.Fatalf("recv observations = %+v", recv)
+	}
+	if receiver.Stats.AlertsRead != 1 || receiver.Stats.RecordsRead != 3 {
+		t.Fatalf("receiver stats = %+v", receiver.Stats)
+	}
+}
+
+// TestAlertName covers known and unknown codes.
+func TestAlertName(t *testing.T) {
+	if got := AlertName(AlertBadRecordMAC); got != "bad_record_mac" {
+		t.Fatalf("AlertName = %q", got)
+	}
+	if got := AlertName(99); got != "alert(99)" {
+		t.Fatalf("AlertName(99) = %q", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/suite"
+	"sslperf/internal/telemetry"
 	"sslperf/internal/x509lite"
 )
 
@@ -56,6 +57,14 @@ type Config struct {
 	RootCert           *x509lite.Certificate
 	ServerName         string
 	InsecureSkipVerify bool
+
+	// Telemetry, when non-nil, receives live metrics and flight-
+	// recorder events from every connection using this config:
+	// handshake outcomes and latencies (with per-step histograms on
+	// the server side), record/byte/alert counters, and step-by-step
+	// event traces. When nil — the default — connections emit nothing
+	// and the hot path pays only nil tests.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) rand() io.Reader {
@@ -79,6 +88,7 @@ type Conn struct {
 	handshakeDone bool
 	result        *handshake.Result
 	anatomy       *handshake.Anatomy
+	telemetryID   uint64 // flight-recorder connection ID (0 = none)
 
 	readBuf []byte
 	eof     bool
@@ -113,6 +123,12 @@ func (c *Conn) handshakeLocked() error {
 	if c.closed {
 		return errors.New("ssl: connection closed")
 	}
+	tel := c.cfg.Telemetry
+	var hsStart time.Time
+	if tel != nil {
+		c.telemetryStart(tel)
+		hsStart = time.Now()
+	}
 	var err error
 	if c.isClient {
 		c.result, err = handshake.Client(c.layer, &handshake.ClientConfig{
@@ -136,6 +152,9 @@ func (c *Conn) handshakeLocked() error {
 			Time:       c.cfg.Time,
 			MaxVersion: c.cfg.Version,
 		}, c.anatomy)
+	}
+	if tel != nil {
+		c.telemetryFinish(tel, time.Since(hsStart), err)
 	}
 	if err != nil {
 		return err
@@ -239,6 +258,9 @@ func (c *Conn) Close() error {
 	c.closed = true
 	if c.handshakeDone {
 		c.layer.SendClose() // best effort
+	}
+	if c.telemetryID != 0 {
+		c.cfg.Telemetry.Event(c.telemetryID, telemetry.EventClose, "", "", 0)
 	}
 	return c.transport.Close()
 }

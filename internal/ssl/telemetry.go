@@ -1,0 +1,112 @@
+package ssl
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/record"
+	"sslperf/internal/telemetry"
+)
+
+// stepTelemetry streams handshake-FSM step boundaries and crypto
+// calls into the flight recorder as they happen.
+type stepTelemetry struct {
+	reg  *telemetry.Registry
+	conn uint64
+}
+
+func (o stepTelemetry) StepStart(index int, name, desc string) {
+	o.reg.Event(o.conn, telemetry.EventStepStart, name, desc, 0)
+}
+
+func (o stepTelemetry) StepEnd(index int, name string, elapsed time.Duration) {
+	o.reg.Event(o.conn, telemetry.EventStepEnd, name, "", elapsed)
+}
+
+func (o stepTelemetry) CryptoCall(step, fn string, elapsed time.Duration) {
+	o.reg.Event(o.conn, telemetry.EventCrypto, fn, step, elapsed)
+}
+
+// telemetryStart prepares a connection for emission: assigns its ID,
+// records the handshake_start event, arms the record-layer observer,
+// and (server side) installs a step observer. Called with c.mu held,
+// only when a registry is configured.
+func (c *Conn) telemetryStart(reg *telemetry.Registry) {
+	c.telemetryID = reg.ConnOpen()
+	role := "client"
+	if !c.isClient {
+		role = "server"
+		if c.anatomy == nil {
+			c.anatomy = handshake.NewAnatomy()
+		}
+	}
+	if c.anatomy != nil && c.anatomy.Observer == nil {
+		c.anatomy.Observer = stepTelemetry{reg: reg, conn: c.telemetryID}
+	}
+	id := c.telemetryID
+	c.layer.OnRecord = func(written bool, typ record.ContentType, n int) {
+		reg.RecordIO(written, typ == record.TypeAlert, n)
+		if typ == record.TypeAlert {
+			kind := telemetry.EventAlertReceived
+			if written {
+				kind = telemetry.EventAlertSent
+			}
+			reg.Event(id, kind, "", "", 0)
+		}
+	}
+	reg.Event(id, telemetry.EventHandshakeStart, "", role, 0)
+}
+
+// telemetryFinish records the outcome of a handshake attempt: the
+// outcome counters, the latency histograms, the per-step histograms
+// (server side, from the anatomy the FSM just filled), and the
+// terminal flight-recorder event.
+func (c *Conn) telemetryFinish(reg *telemetry.Registry, d time.Duration, err error) {
+	if err != nil {
+		reason := FailureReason(err)
+		reg.HandshakeFailed(reason)
+		reg.Event(c.telemetryID, telemetry.EventHandshakeFail, reason, err.Error(), d)
+		return
+	}
+	reg.HandshakeDone(c.result.Suite.Name, c.result.Session.Version, c.result.Resumed, d)
+	if c.anatomy != nil {
+		for _, step := range c.anatomy.Steps {
+			reg.ObserveStep(step.Name, step.Elapsed)
+		}
+	}
+	detail := c.result.Suite.Name
+	if c.result.Resumed {
+		detail += " resumed"
+	}
+	reg.Event(c.telemetryID, telemetry.EventHandshakeDone, "", detail, d)
+}
+
+// FailureReason maps a handshake error onto a stable, low-cardinality
+// tag for the failure counter: the alert name when the peer said why,
+// a coarse category otherwise. The telemetry layer and cmd/sslserver
+// both use it so logs and counters agree.
+func FailureReason(err error) string {
+	var ae *record.AlertError
+	if errors.As(err, &ae) {
+		return record.AlertName(ae.Description)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return "eof"
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "certificate"):
+		return "bad_certificate"
+	case strings.Contains(msg, "version"):
+		return "version_mismatch"
+	case strings.Contains(msg, "finished"):
+		return "finished_verify_failed"
+	case strings.Contains(msg, "record:"):
+		return "record_error"
+	default:
+		return "protocol_error"
+	}
+}

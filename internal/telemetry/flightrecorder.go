@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies flight-recorder events.
+type EventKind string
+
+// Flight-recorder event kinds.
+const (
+	EventHandshakeStart EventKind = "handshake_start"
+	EventHandshakeDone  EventKind = "handshake_done"
+	EventHandshakeFail  EventKind = "handshake_fail"
+	EventStepStart      EventKind = "step_start"
+	EventStepEnd        EventKind = "step_end"
+	EventCrypto         EventKind = "crypto"
+	EventAlertSent      EventKind = "alert_sent"
+	EventAlertReceived  EventKind = "alert_received"
+	EventError          EventKind = "error"
+	EventClose          EventKind = "close"
+)
+
+// An Event is one structured flight-recorder entry: something a live
+// connection did, stamped with the connection's ID and a global
+// sequence number so interleaved connections can be teased apart.
+type Event struct {
+	Seq     uint64        `json:"seq"`
+	Conn    uint64        `json:"conn"`
+	At      time.Time     `json:"at"`
+	Kind    EventKind     `json:"kind"`
+	Name    string        `json:"name,omitempty"`    // step/crypto-fn/alert name
+	Detail  string        `json:"detail,omitempty"`  // free-form context (error text, suite)
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// A FlightRecorder keeps the last N events in a fixed-size ring so any
+// recent connection can be reconstructed post-mortem without unbounded
+// memory. It is safe for concurrent use; Record is O(1) under a short
+// critical section (no allocation once the ring is full).
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever recorded
+}
+
+// DefaultFlightRecorderSize bounds the ring when no size is given.
+const DefaultFlightRecorderSize = 4096
+
+// NewFlightRecorder returns a recorder keeping the last size events.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{ring: make([]Event, 0, size)}
+}
+
+// Record appends one event, stamping its sequence number and (when
+// unset) its timestamp, evicting the oldest event when full.
+func (fr *FlightRecorder) Record(ev Event) {
+	if fr == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	fr.mu.Lock()
+	ev.Seq = fr.next
+	fr.next++
+	if len(fr.ring) < cap(fr.ring) {
+		fr.ring = append(fr.ring, ev)
+	} else {
+		fr.ring[ev.Seq%uint64(cap(fr.ring))] = ev
+	}
+	fr.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.ring)
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (fr *FlightRecorder) Total() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.next
+}
+
+// Events returns the retained events oldest-first.
+func (fr *FlightRecorder) Events() []Event {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]Event, 0, len(fr.ring))
+	if len(fr.ring) < cap(fr.ring) {
+		return append(out, fr.ring...)
+	}
+	// Full ring: oldest is at next % cap.
+	start := int(fr.next % uint64(cap(fr.ring)))
+	out = append(out, fr.ring[start:]...)
+	return append(out, fr.ring[:start]...)
+}
+
+// ConnEvents returns the retained events for one connection ID,
+// oldest-first — the step-by-step trace of that connection.
+func (fr *FlightRecorder) ConnEvents(conn uint64) []Event {
+	var out []Event
+	for _, ev := range fr.Events() {
+		if ev.Conn == conn {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

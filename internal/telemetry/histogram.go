@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers latencies from <1µs up to ~8.4s in power-of-two
+// microsecond buckets, plus one overflow bucket.
+const numBuckets = 25
+
+// bucketBound returns the inclusive upper bound of bucket i:
+// 1µs << i for the regular buckets; the last bucket is unbounded.
+func bucketBound(i int) time.Duration {
+	if i >= numBuckets-1 {
+		return 0 // unbounded
+	}
+	return time.Microsecond << uint(i)
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us)) // 1µs..2µs -> 1, etc.
+	if us&(us-1) == 0 {
+		i-- // exact powers of two belong in their own bucket
+	}
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// A Histogram is a lock-free latency histogram with power-of-two
+// microsecond buckets. Observe is wait-free (a few atomic adds), so it
+// can sit on the connection hot path. The zero value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering; quantiles are upper bounds of the containing bucket.
+type HistogramSnapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+	// Buckets lists non-empty buckets as {upper bound, count};
+	// an UpperBound of 0 marks the unbounded overflow bucket.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	UpperBound time.Duration `json:"le_ns"`
+	Count      uint64        `json:"count"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may straddle the copy; totals remain self-consistent within
+// one counter but the snapshot is not a point-in-time cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var counts [numBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		s.Count += counts[i]
+	}
+	s.Sum = time.Duration(h.sumNS.Load())
+	s.Max = time.Duration(h.maxNS.Load())
+	if s.Count > 0 {
+		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	s.P50 = quantile(&counts, s.Count, 0.50, s.Max)
+	s.P90 = quantile(&counts, s.Count, 0.90, s.Max)
+	s.P99 = quantile(&counts, s.Count, 0.99, s.Max)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: bucketBound(i), Count: c})
+		}
+	}
+	return s
+}
+
+// quantile returns the q-th quantile as the upper bound of the bucket
+// holding the rank-th sample; the overflow bucket reports max.
+func quantile(counts *[numBuckets]uint64, total uint64, q float64, max time.Duration) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if b := bucketBound(i); b != 0 {
+				return b
+			}
+			return max
+		}
+	}
+	return max
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Register mounts the telemetry endpoints on mux:
+//
+//	/metrics               JSON snapshot (?format=text for tables)
+//	/debug/flightrecorder  retained events, oldest-first
+//	                       (?conn=ID for one connection, ?last=N to tail)
+func Register(mux *http.ServeMux, r *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(snap.Text()))
+			return
+		}
+		b, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		fr := r.Recorder()
+		var events []Event
+		if connStr := req.URL.Query().Get("conn"); connStr != "" {
+			conn, err := strconv.ParseUint(connStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad conn id", http.StatusBadRequest)
+				return
+			}
+			events = fr.ConnEvents(conn)
+		} else {
+			events = fr.Events()
+		}
+		if lastStr := req.URL.Query().Get("last"); lastStr != "" {
+			last, err := strconv.Atoi(lastStr)
+			if err != nil || last < 0 {
+				http.Error(w, "bad last count", http.StatusBadRequest)
+				return
+			}
+			if last < len(events) {
+				events = events[len(events)-last:]
+			}
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
+	})
+}
+
+// Handler returns a mux serving only the telemetry endpoints.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, r)
+	return mux
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.HandshakeDone("RC4-MD5", 0x0300, false, time.Millisecond)
+	h := Handler(r)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &s); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if s.Handshakes.Full != 1 {
+		t.Fatalf("full = %d", s.Handshakes.Full)
+	}
+
+	req = httptest.NewRequest("GET", "/metrics?format=text", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if !strings.Contains(w.Body.String(), "handshakes_full") {
+		t.Fatalf("text body = %q", w.Body.String())
+	}
+}
+
+func TestFlightRecorderEndpoint(t *testing.T) {
+	r := NewRegistry()
+	c1, c2 := r.ConnOpen(), r.ConnOpen()
+	r.Event(c1, EventHandshakeStart, "", "server", 0)
+	r.Event(c1, EventStepStart, "init", "", 0)
+	r.Event(c2, EventHandshakeStart, "", "server", 0)
+	h := Handler(r)
+
+	req := httptest.NewRequest("GET", "/debug/flightrecorder", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var all []Event
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("events = %d, want 3", len(all))
+	}
+
+	req = httptest.NewRequest("GET", "/debug/flightrecorder?conn=1", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var one []Event
+	if err := json.Unmarshal(w.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 2 || one[1].Name != "init" {
+		t.Fatalf("conn1 events = %+v", one)
+	}
+
+	req = httptest.NewRequest("GET", "/debug/flightrecorder?last=1", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var tail []Event
+	if err := json.Unmarshal(w.Body.Bytes(), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Conn != c2 {
+		t.Fatalf("tail = %+v", tail)
+	}
+
+	req = httptest.NewRequest("GET", "/debug/flightrecorder?conn=zzz", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != 400 {
+		t.Fatalf("bad conn id status = %d", w.Code)
+	}
+}

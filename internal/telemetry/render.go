@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sslperf/internal/perf"
+)
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// histRow formats the common histogram columns.
+func histRow(t *perf.Table, name string, h HistogramSnapshot) {
+	t.AddRow(name,
+		fmt.Sprint(h.Count),
+		kcyc(h.Mean), kcyc(h.P50), kcyc(h.P90), kcyc(h.P99), kcyc(h.Max))
+}
+
+// kcyc formats a duration as thousands of model cycles, matching the
+// unit of the paper's Table 2 and the perf.Breakdown renderer.
+func kcyc(d time.Duration) string {
+	return fmt.Sprintf("%.1f", perf.Cycles(d)/1000)
+}
+
+// sortedKeys returns m's keys sorted for stable text output.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Text renders the snapshot as aligned tables in the style of the
+// perf package's paper tables: a counter summary, handshake latency
+// distributions, and a per-step share table built on perf.Breakdown.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "telemetry snapshot (uptime %.1fs, %d connections)\n\n",
+		s.UptimeSeconds, s.Connections)
+
+	counters := perf.NewTable("counters", "metric", "value")
+	counters.AddRow("handshakes_full", fmt.Sprint(s.Handshakes.Full))
+	counters.AddRow("handshakes_resumed", fmt.Sprint(s.Handshakes.Resumed))
+	counters.AddRow("handshakes_failed", fmt.Sprint(s.Handshakes.Failed))
+	for _, k := range sortedKeys(s.Handshakes.BySuite) {
+		counters.AddRow("suite:"+k, fmt.Sprint(s.Handshakes.BySuite[k]))
+	}
+	for _, k := range sortedKeys(s.Handshakes.ByVersion) {
+		counters.AddRow("version:"+k, fmt.Sprint(s.Handshakes.ByVersion[k]))
+	}
+	for _, k := range sortedKeys(s.Handshakes.FailReasons) {
+		counters.AddRow("fail:"+k, fmt.Sprint(s.Handshakes.FailReasons[k]))
+	}
+	counters.AddRow("records_in", fmt.Sprint(s.IO.RecordsIn))
+	counters.AddRow("records_out", fmt.Sprint(s.IO.RecordsOut))
+	counters.AddRow("bytes_in", fmt.Sprint(s.IO.BytesIn))
+	counters.AddRow("bytes_out", fmt.Sprint(s.IO.BytesOut))
+	counters.AddRow("alerts_received", fmt.Sprint(s.IO.AlertsReceived))
+	counters.AddRow("alerts_sent", fmt.Sprint(s.IO.AlertsSent))
+	counters.AddRow("events_recorded", fmt.Sprint(s.EventsRecorded))
+	sb.WriteString(counters.String())
+	sb.WriteByte('\n')
+
+	lat := perf.NewTable("handshake latency (kcycles)",
+		"kind", "n", "mean", "p50", "p90", "p99", "max")
+	histRow(lat, "full", s.FullLatency)
+	histRow(lat, "resumed", s.ResumedLatency)
+	sb.WriteString(lat.String())
+
+	if len(s.Steps) > 0 {
+		sb.WriteByte('\n')
+		steps := perf.NewTable("handshake steps (kcycles)",
+			"step", "n", "mean", "p50", "p90", "p99", "max")
+		// share reuses perf.Breakdown's percentage rendering over the
+		// accumulated per-step time — the live Table 2.
+		share := perf.NewBreakdown()
+		for _, st := range s.Steps {
+			histRow(steps, st.Name, st.Latency)
+			share.Add(st.Name, st.Latency.Sum)
+		}
+		sb.WriteString(steps.String())
+		sb.WriteByte('\n')
+		sb.WriteString("per-step share of total handshake time:\n")
+		sb.WriteString(share.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,279 @@
+// Package telemetry is the live observability layer for the SSL
+// stack: concurrency-safe counters and histograms that every active
+// connection emits into, plus a fixed-size flight recorder of
+// structured per-connection events.
+//
+// Where internal/perf is the paper's offline measurement substrate
+// (single-owner breakdowns rendered after a run), telemetry is the
+// always-on production instrument the multi-core follow-up work
+// assumes: counters are atomic, histograms are wait-free, and the
+// whole layer has a nil fast path — a nil *Registry accepts every
+// emission as a no-op costing one pointer test, so the hot path stays
+// allocation-free when telemetry is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Registry aggregates the SSL stack's live metrics. All methods are
+// safe for concurrent use and all are no-ops on a nil receiver.
+type Registry struct {
+	start time.Time
+
+	connSeq atomic.Uint64
+
+	handshakesFull    atomic.Uint64
+	handshakesResumed atomic.Uint64
+	handshakesFailed  atomic.Uint64
+
+	recordsIn  atomic.Uint64
+	recordsOut atomic.Uint64
+	bytesIn    atomic.Uint64
+	bytesOut   atomic.Uint64
+	alertsIn   atomic.Uint64
+	alertsOut  atomic.Uint64
+
+	fullLatency    Histogram
+	resumedLatency Histogram
+
+	// Low-rate keyed counters (one touch per handshake, not per
+	// record) share a mutex; the maps are tiny and bounded by the
+	// suite/version/reason vocabulary.
+	mu          sync.Mutex
+	bySuite     map[string]uint64
+	byVersion   map[string]uint64
+	failReasons map[string]uint64
+	steps       map[string]*Histogram
+	stepOrder   []string
+
+	recorder *FlightRecorder
+}
+
+// NewRegistry returns a registry with a DefaultFlightRecorderSize
+// flight recorder.
+func NewRegistry() *Registry { return NewRegistrySize(DefaultFlightRecorderSize) }
+
+// NewRegistrySize returns a registry whose flight recorder keeps the
+// last events entries.
+func NewRegistrySize(events int) *Registry {
+	return &Registry{
+		start:       time.Now(),
+		bySuite:     make(map[string]uint64),
+		byVersion:   make(map[string]uint64),
+		failReasons: make(map[string]uint64),
+		steps:       make(map[string]*Histogram),
+		recorder:    NewFlightRecorder(events),
+	}
+}
+
+// Recorder exposes the flight recorder (nil on a nil registry).
+func (r *Registry) Recorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.recorder
+}
+
+// ConnOpen assigns and returns the next connection ID. IDs start at 1
+// so 0 can mean "no telemetry" in callers; a nil registry returns 0.
+func (r *Registry) ConnOpen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.connSeq.Add(1)
+}
+
+// Event records a flight-recorder event for a connection.
+func (r *Registry) Event(conn uint64, kind EventKind, name, detail string, elapsed time.Duration) {
+	if r == nil {
+		return
+	}
+	r.recorder.Record(Event{Conn: conn, Kind: kind, Name: name, Detail: detail, Elapsed: elapsed})
+}
+
+// versionName names a wire version for metric keys.
+func versionName(v uint16) string {
+	switch v {
+	case 0x0300:
+		return "SSLv3"
+	case 0x0301:
+		return "TLSv1.0"
+	}
+	return fmt.Sprintf("%#04x", v)
+}
+
+// HandshakeDone counts one successful handshake, keyed by cipher
+// suite and version, and observes its latency (full and resumed
+// handshakes get separate histograms, matching the paper's split).
+func (r *Registry) HandshakeDone(suiteName string, version uint16, resumed bool, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if resumed {
+		r.handshakesResumed.Add(1)
+		r.resumedLatency.Observe(d)
+	} else {
+		r.handshakesFull.Add(1)
+		r.fullLatency.Observe(d)
+	}
+	r.mu.Lock()
+	r.bySuite[suiteName]++
+	r.byVersion[versionName(version)]++
+	r.mu.Unlock()
+}
+
+// HandshakeFailed counts one failed handshake tagged with a reason
+// (an alert name or a stable error category).
+func (r *Registry) HandshakeFailed(reason string) {
+	if r == nil {
+		return
+	}
+	r.handshakesFailed.Add(1)
+	if reason == "" {
+		reason = "unknown"
+	}
+	r.mu.Lock()
+	r.failReasons[reason]++
+	r.mu.Unlock()
+}
+
+// ObserveStep records one handshake step's latency into that step's
+// histogram — the live, cross-connection mirror of Table 2's rows.
+func (r *Registry) ObserveStep(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.steps[name]
+	if h == nil {
+		h = &Histogram{}
+		r.steps[name] = h
+		r.stepOrder = append(r.stepOrder, name)
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// RecordIO counts one framed record moving through the record layer.
+// This is the per-record hot path: four atomic adds at most.
+func (r *Registry) RecordIO(written bool, isAlert bool, payloadBytes int) {
+	if r == nil {
+		return
+	}
+	if written {
+		r.recordsOut.Add(1)
+		r.bytesOut.Add(uint64(payloadBytes))
+		if isAlert {
+			r.alertsOut.Add(1)
+		}
+	} else {
+		r.recordsIn.Add(1)
+		r.bytesIn.Add(uint64(payloadBytes))
+		if isAlert {
+			r.alertsIn.Add(1)
+		}
+	}
+}
+
+// HandshakeCounts is the handshake section of a snapshot.
+type HandshakeCounts struct {
+	Full        uint64            `json:"full"`
+	Resumed     uint64            `json:"resumed"`
+	Failed      uint64            `json:"failed"`
+	BySuite     map[string]uint64 `json:"by_suite,omitempty"`
+	ByVersion   map[string]uint64 `json:"by_version,omitempty"`
+	FailReasons map[string]uint64 `json:"fail_reasons,omitempty"`
+}
+
+// IOCounts is the record-layer section of a snapshot.
+type IOCounts struct {
+	RecordsIn      uint64 `json:"records_in"`
+	RecordsOut     uint64 `json:"records_out"`
+	BytesIn        uint64 `json:"bytes_in"`
+	BytesOut       uint64 `json:"bytes_out"`
+	AlertsReceived uint64 `json:"alerts_received"`
+	AlertsSent     uint64 `json:"alerts_sent"`
+}
+
+// StepSnapshot is one handshake step's latency distribution.
+type StepSnapshot struct {
+	Name    string            `json:"name"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// A Snapshot is a self-consistent-enough copy of every metric for
+// rendering; counters may advance between individual loads but each
+// value is a real point on its own timeline.
+type Snapshot struct {
+	At             time.Time         `json:"at"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Connections    uint64            `json:"connections"`
+	Handshakes     HandshakeCounts   `json:"handshakes"`
+	IO             IOCounts          `json:"io"`
+	FullLatency    HistogramSnapshot `json:"full_handshake_latency"`
+	ResumedLatency HistogramSnapshot `json:"resumed_handshake_latency"`
+	Steps          []StepSnapshot    `json:"steps,omitempty"`
+	EventsRecorded uint64            `json:"events_recorded"`
+	EventsRetained int               `json:"events_retained"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	now := time.Now()
+	s := Snapshot{
+		At:            now,
+		UptimeSeconds: now.Sub(r.start).Seconds(),
+		Connections:   r.connSeq.Load(),
+		Handshakes: HandshakeCounts{
+			Full:    r.handshakesFull.Load(),
+			Resumed: r.handshakesResumed.Load(),
+			Failed:  r.handshakesFailed.Load(),
+		},
+		IO: IOCounts{
+			RecordsIn:      r.recordsIn.Load(),
+			RecordsOut:     r.recordsOut.Load(),
+			BytesIn:        r.bytesIn.Load(),
+			BytesOut:       r.bytesOut.Load(),
+			AlertsReceived: r.alertsIn.Load(),
+			AlertsSent:     r.alertsOut.Load(),
+		},
+		FullLatency:    r.fullLatency.Snapshot(),
+		ResumedLatency: r.resumedLatency.Snapshot(),
+		EventsRecorded: r.recorder.Total(),
+		EventsRetained: r.recorder.Len(),
+	}
+	r.mu.Lock()
+	s.Handshakes.BySuite = copyMap(r.bySuite)
+	s.Handshakes.ByVersion = copyMap(r.byVersion)
+	s.Handshakes.FailReasons = copyMap(r.failReasons)
+	order := append([]string(nil), r.stepOrder...)
+	hists := make([]*Histogram, len(order))
+	for i, name := range order {
+		hists[i] = r.steps[name]
+	}
+	r.mu.Unlock()
+	// Steps keep first-observed order, which is Table 2 order when the
+	// handshake FSM is the only emitter.
+	for i, name := range order {
+		s.Steps = append(s.Steps, StepSnapshot{Name: name, Latency: hists[i].Snapshot()})
+	}
+	return s
+}
+
+func copyMap(m map[string]uint64) map[string]uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
