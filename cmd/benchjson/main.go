@@ -1,0 +1,232 @@
+// Command benchjson runs `go test -bench` on one package and writes
+// the parsed results as machine-readable JSON in the shape of the
+// committed docs/BENCH_*.json files, so `make bench` can refresh them
+// without hand-editing numbers out of test output.
+//
+// Every metric the benchmark reports is kept — ns/op, B/op,
+// allocs/op, and custom ReportMetric units such as decrypts/s — and
+// benchmarks that sweep a `/batch=N` parameter get a derived speedup
+// column relative to their batch=1 point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Speedup    float64            `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Bench   string                  `json:"bench"`
+	Date    string                  `json:"date"`
+	Machine string                  `json:"machine"`
+	Command string                  `json:"command"`
+	Note    string                  `json:"note,omitempty"`
+	Results map[string]*benchResult `json:"results"`
+}
+
+func main() {
+	var (
+		pkg   = flag.String("pkg", "", "package to benchmark (e.g. ./internal/rsabatch/)")
+		bench = flag.String("bench", ".", "benchmark regex passed to -bench")
+		name  = flag.String("name", "", "value for the \"bench\" field (default: the regex)")
+		out   = flag.String("out", "", "output file (default: stdout)")
+		note  = flag.String("note", "", "free-text note recorded in the JSON")
+		count = flag.Int("count", 1, "runs per benchmark; metrics are averaged")
+		btime = flag.String("benchtime", "", "passed through as -benchtime")
+		quiet = flag.Bool("quiet", false, "suppress the raw go test output")
+	)
+	flag.Parse()
+	if *pkg == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -pkg is required")
+		os.Exit(2)
+	}
+
+	args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *btime != "" {
+		args = append(args, "-benchtime", *btime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		os.Stdout.Write(raw)
+	}
+
+	// Accumulate every run of every benchmark, then average.
+	type acc struct {
+		iters int64
+		sums  map[string]float64
+		runs  int64
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name  N  value unit  [value unit ...]
+		if len(fields) < 4 || (len(fields)%2) != 0 {
+			continue
+		}
+		bname := strings.TrimPrefix(trimProcs(fields[0]), "Benchmark")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		a := accs[bname]
+		if a == nil {
+			a = &acc{sums: map[string]float64{}}
+			accs[bname] = a
+			order = append(order, bname)
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			a.sums[fields[i+1]] += v
+		}
+		if !ok {
+			continue
+		}
+		a.iters += iters
+		a.runs++
+	}
+	if len(accs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in output")
+		os.Exit(1)
+	}
+
+	rep := report{
+		Bench:   *name,
+		Date:    time.Now().Format("2006-01-02"),
+		Machine: machine(),
+		Command: "go " + strings.Join(args, " "),
+		Note:    *note,
+		Results: map[string]*benchResult{},
+	}
+	if rep.Bench == "" {
+		rep.Bench = *bench
+	}
+	for _, bname := range order {
+		a := accs[bname]
+		r := &benchResult{
+			Iterations: a.iters / a.runs,
+			Metrics:    map[string]float64{},
+		}
+		for unit, sum := range a.sums {
+			r.Metrics[unit] = round3(sum / float64(a.runs))
+		}
+		rep.Results[bname] = r
+	}
+
+	// Derived speedups: within each `<prefix>/batch=N` family, rate
+	// metrics (anything ending in /s) relative to the batch=1 point;
+	// ns/op as fallback for benchmarks that report no rate.
+	families := map[string][]string{}
+	for bname := range rep.Results {
+		if i := strings.Index(bname, "/batch="); i >= 0 {
+			families[bname[:i]] = append(families[bname[:i]], bname)
+		}
+	}
+	for prefix, members := range families {
+		base := rep.Results[prefix+"/batch=1"]
+		if base == nil {
+			continue
+		}
+		sort.Strings(members)
+		for _, bname := range members {
+			r := rep.Results[bname]
+			if s := rateSpeedup(r, base); s > 0 {
+				r.Speedup = round3(s)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	} else if !*quiet {
+		fmt.Println("wrote", *out)
+	}
+}
+
+// rateSpeedup compares r to base on the first shared rate metric
+// (unit ending in "/s", higher is better), falling back to inverse
+// ns/op (lower is better).
+func rateSpeedup(r, base *benchResult) float64 {
+	for unit, bv := range base.Metrics {
+		if strings.HasSuffix(unit, "/s") && bv > 0 {
+			if v, ok := r.Metrics[unit]; ok {
+				return v / bv
+			}
+		}
+	}
+	if bv, ok := base.Metrics["ns/op"]; ok && r.Metrics["ns/op"] > 0 {
+		return bv / r.Metrics["ns/op"]
+	}
+	return 0
+}
+
+// trimProcs strips the single trailing -GOMAXPROCS suffix go test
+// appends ("RC4-MD5-8" → "RC4-MD5", not "RC4-MD").
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func round3(v float64) float64 {
+	s, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 3, 64), 64)
+	return s
+}
+
+// machine describes the host the numbers were taken on.
+func machine() string {
+	desc := fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version())
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if _, model, ok := strings.Cut(line, ":"); ok {
+					return strings.TrimSpace(model) + ", " + desc
+				}
+			}
+		}
+	}
+	return desc
+}

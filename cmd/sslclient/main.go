@@ -1,6 +1,8 @@
 // Command sslclient drives HTTPS-like transactions against sslserver
 // (the curl analogue of the paper's client machine) and reports
-// handshake and transfer latencies, with optional session resumption.
+// handshake and transfer latencies, with optional session resumption
+// and concurrent connections (-parallel) for load-shaping a batched
+// server.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"sslperf/internal/handshake"
@@ -24,8 +27,9 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:4433", "server address")
 		n         = flag.Int("n", 10, "number of connections")
+		parallel  = flag.Int("parallel", 1, "concurrent connections (each worker gets its own PRNG and session chain)")
 		reqPerCon = flag.Int("requests", 1, "requests per connection")
-		resume    = flag.Bool("resume", false, "resume sessions after the first connection")
+		resume    = flag.Bool("resume", false, "resume sessions after each worker's first connection")
 		suiteName = flag.String("suite", "", "restrict to one cipher suite")
 		seed      = flag.Uint64("seed", 0, "PRNG seed (0 = time-based)")
 		useTLS    = flag.Bool("tls", false, "offer TLS 1.0 instead of SSL 3.0")
@@ -36,69 +40,129 @@ func main() {
 	if seedVal == 0 {
 		seedVal = uint64(time.Now().UnixNano())
 	}
-	cfg := &ssl.Config{Rand: ssl.NewPRNG(seedVal), InsecureSkipVerify: true}
+	base := &ssl.Config{InsecureSkipVerify: true}
 	if *useTLS {
-		cfg.Version = record.VersionTLS10
+		base.Version = record.VersionTLS10
 	}
 	if *suiteName != "" {
 		s, err := suite.ByName(*suiteName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Suites = []suite.ID{s.ID}
+		base.Suites = []suite.ID{s.ID}
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > *n {
+		workers = *n
 	}
 
-	var session *handshake.Session
-	var hsTotal, xferTotal time.Duration
-	var bytesTotal int
-	resumedCount := 0
-	for i := 0; i < *n; i++ {
-		tc, err := net.Dial("tcp", *addr)
-		if err != nil {
-			log.Fatal(err)
+	var (
+		mu           sync.Mutex
+		hsTotal      time.Duration
+		xferTotal    time.Duration
+		bytesTotal   int
+		resumedCount int
+		failures     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := *n / workers
+		if w < *n%workers {
+			count++
 		}
-		connCfg := *cfg
-		if *resume {
-			connCfg.Session = session
-		}
-		conn := ssl.ClientConn(tc, &connCfg)
-
-		start := time.Now()
-		if err := conn.Handshake(); err != nil {
-			log.Fatalf("handshake %d: %v", i, err)
-		}
-		hsTotal += time.Since(start)
-		state, _ := conn.ConnectionState()
-		if state.Resumed {
-			resumedCount++
-		}
-
-		r := bufio.NewReader(conn)
-		for j := 0; j < *reqPerCon; j++ {
-			start = time.Now()
-			if _, err := conn.Write([]byte("GET /\n")); err != nil {
-				log.Fatal(err)
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			// Per-worker PRNG: ssl.PRNG is not safe for concurrent use.
+			rnd := ssl.NewPRNG(seedVal + uint64(w)*7919)
+			var session *handshake.Session
+			for i := 0; i < count; i++ {
+				hs, xfer, bytes, resumed, err := transact(
+					*addr, base, rnd, session, *resume, *reqPerCon, &session)
+				mu.Lock()
+				if err != nil {
+					failures++
+					log.Printf("worker %d conn %d: %v", w, i, err)
+				} else {
+					hsTotal += hs
+					xferTotal += xfer
+					bytesTotal += bytes
+					if resumed {
+						resumedCount++
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
 			}
-			line, err := r.ReadString('\n')
-			if err != nil {
-				log.Fatal(err)
-			}
-			size, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "LEN ")))
-			if err != nil {
-				log.Fatalf("bad response header %q", line)
-			}
-			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
-				log.Fatal(err)
-			}
-			xferTotal += time.Since(start)
-			bytesTotal += size
-		}
-		session, _ = conn.Session()
-		conn.Close()
+		}(w, count)
 	}
+	wg.Wait()
 
-	fmt.Printf("connections: %d (%d resumed)\n", *n, resumedCount)
-	fmt.Printf("avg handshake: %v\n", hsTotal/time.Duration(*n))
-	fmt.Printf("avg transaction: %v\n", xferTotal/time.Duration(*n**reqPerCon))
+	done := *n - failures
+	fmt.Printf("connections: %d (%d resumed, %d failed, %d workers)\n",
+		done, resumedCount, failures, workers)
+	if done > 0 {
+		fmt.Printf("avg handshake: %v\n", hsTotal/time.Duration(done))
+		fmt.Printf("avg transaction: %v\n", xferTotal/time.Duration(done**reqPerCon))
+	}
 	fmt.Printf("payload bytes: %d\n", bytesTotal)
+	if failures > 0 {
+		log.Fatalf("%d connections failed", failures)
+	}
+}
+
+// transact runs one connection: handshake, reqPerCon request/response
+// exchanges, then records the session for resumption.
+func transact(addr string, base *ssl.Config, rnd *ssl.PRNG,
+	session *handshake.Session, resume bool, reqPerCon int,
+	sessionOut **handshake.Session) (hs, xfer time.Duration, bytes int, resumed bool, err error) {
+
+	tc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer tc.Close()
+	connCfg := *base
+	connCfg.Rand = rnd
+	if resume {
+		connCfg.Session = session
+	}
+	conn := ssl.ClientConn(tc, &connCfg)
+
+	start := time.Now()
+	if err := conn.Handshake(); err != nil {
+		return 0, 0, 0, false, fmt.Errorf("handshake: %w", err)
+	}
+	hs = time.Since(start)
+	state, _ := conn.ConnectionState()
+	resumed = state.Resumed
+
+	r := bufio.NewReader(conn)
+	for j := 0; j < reqPerCon; j++ {
+		start = time.Now()
+		if _, err := conn.Write([]byte("GET /\n")); err != nil {
+			return 0, 0, 0, false, err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		size, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "LEN ")))
+		if err != nil {
+			return 0, 0, 0, false, fmt.Errorf("bad response header %q", line)
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+			return 0, 0, 0, false, err
+		}
+		xfer += time.Since(start)
+		bytes += size
+	}
+	*sessionOut, _ = conn.Session()
+	conn.Close()
+	return hs, xfer, bytes, resumed, nil
 }

@@ -1,6 +1,12 @@
 // Command sslserver serves a static payload over SSLv3 on TCP — the
 // measured half of the paper's web-server setup. Pair it with
 // sslclient to drive HTTPS-like transactions across real sockets.
+//
+// With -rsabatch N the server deploys a Fiat batch-RSA key set:
+// N certificates over one shared modulus with distinct small public
+// exponents, assigned to connections round-robin, so concurrent
+// ClientKeyExchange decryptions amortize into one full-size
+// exponentiation per batch (see internal/rsabatch).
 package main
 
 import (
@@ -10,14 +16,18 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"sslperf/internal/handshake"
 	"sslperf/internal/record"
+	"sslperf/internal/rsa"
+	"sslperf/internal/rsabatch"
 	"sslperf/internal/ssl"
 	"sslperf/internal/suite"
 	"sslperf/internal/telemetry"
 	"sslperf/internal/workload"
+	"sslperf/internal/x509lite"
 )
 
 func main() {
@@ -32,6 +42,11 @@ func main() {
 			"serve /metrics, /debug/flightrecorder, and pprof on this address (e.g. :9090)")
 		flightRec = flag.Int("flightrecorder", telemetry.DefaultFlightRecorderSize,
 			"flight-recorder ring size (events)")
+		rsaBatch = flag.Int("rsabatch", 0,
+			fmt.Sprintf("batch RSA decryptions across up to N concurrent handshakes (0 = off, max %d)", rsabatch.MaxBatch))
+		rsaWorkers = flag.Int("rsaworkers", 2, "batch RSA worker goroutines")
+		rsaLinger  = flag.Duration("rsalinger", 500*time.Microsecond,
+			"how long a partial RSA batch waits for more handshakes")
 	)
 	flag.Parse()
 
@@ -39,30 +54,10 @@ func main() {
 	if seedVal == 0 {
 		seedVal = uint64(time.Now().UnixNano())
 	}
-	log.Printf("generating %d-bit identity...", *keyBits)
-	id, err := ssl.NewIdentity(ssl.NewPRNG(seedVal), *keyBits, "sslserver", time.Now())
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := &ssl.Config{
-		Rand:         ssl.NewPRNG(seedVal + 1),
-		Key:          id.Key,
-		CertDER:      id.CertDER,
-		SessionCache: handshake.NewSessionCache(4096),
-	}
-	if *suiteName != "" {
-		s, err := suite.ByName(*suiteName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg.Suites = []suite.ID{s.ID}
-	}
-	if *ssl3Only {
-		cfg.Version = record.VersionSSL30
-	}
+
+	var reg *telemetry.Registry
 	if *telAddr != "" {
-		reg := telemetry.NewRegistrySize(*flightRec)
-		cfg.Telemetry = reg
+		reg = telemetry.NewRegistrySize(*flightRec)
 		mux := http.NewServeMux()
 		telemetry.Register(mux, reg)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -78,6 +73,59 @@ func main() {
 		}()
 	}
 
+	srv := &server{
+		cache:     handshake.NewSessionCache(4096),
+		telemetry: reg,
+		seed:      seedVal,
+	}
+	if *suiteName != "" {
+		s, err := suite.ByName(*suiteName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.suites = []suite.ID{s.ID}
+	}
+	if *ssl3Only {
+		srv.version = record.VersionSSL30
+	}
+
+	if *rsaBatch > 0 {
+		log.Printf("generating %d-bit batch key set (width %d)...", *keyBits, *rsaBatch)
+		ks, err := rsabatch.GenerateKeySet(ssl.NewPRNG(seedVal), *keyBits, *rsaBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now := time.Now()
+		rnd := ssl.NewPRNG(seedVal + 1)
+		for i, key := range ks.Keys {
+			cn := fmt.Sprintf("sslserver-batch-%d", i)
+			cert, err := x509lite.Create(rnd, cn, &key.PublicKey, cn, key,
+				now.Add(-24*time.Hour), now.Add(365*24*time.Hour))
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.certs = append(srv.certs, cert.Raw)
+		}
+		srv.engine = rsabatch.NewEngine(ks, rsabatch.Config{
+			BatchSize: *rsaBatch,
+			Linger:    *rsaLinger,
+			Workers:   *rsaWorkers,
+			Rand:      ssl.NewPRNG(seedVal + 2),
+			Telemetry: reg,
+		})
+		srv.keys = ks.Keys
+		log.Printf("batch RSA engine: width %d, linger %v, %d workers",
+			*rsaBatch, *rsaLinger, *rsaWorkers)
+	} else {
+		log.Printf("generating %d-bit identity...", *keyBits)
+		id, err := ssl.NewIdentity(ssl.NewPRNG(seedVal), *keyBits, "sslserver", time.Now())
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.keys = append(srv.keys, id.Key)
+		srv.certs = append(srv.certs, id.CertDER)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -89,12 +137,48 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go serve(tc, cfg, payload)
+		go srv.serve(tc, payload)
 	}
 }
 
-func serve(tc net.Conn, cfg *ssl.Config, payload []byte) {
-	conn := ssl.ServerConn(tc, cfg)
+// server holds the shared state every connection config draws from.
+// Keys/certs are parallel slices: one entry without batching, one per
+// batch exponent with it.
+type server struct {
+	keys      []*rsa.PrivateKey
+	certs     [][]byte
+	engine    *rsabatch.Engine
+	cache     *handshake.SessionCache
+	telemetry *telemetry.Registry
+	suites    []suite.ID
+	version   uint16
+	seed      uint64
+	connSeq   atomic.Uint64
+}
+
+// configFor builds the per-connection Config. Every connection gets
+// its own PRNG (ssl.PRNG is not safe for concurrent use) and, under
+// batching, the next key of the set round-robin.
+func (s *server) configFor() *ssl.Config {
+	id := s.connSeq.Add(1)
+	i := int(id) % len(s.keys)
+	cfg := &ssl.Config{
+		Rand:         ssl.NewPRNG(s.seed + 17*id),
+		Key:          s.keys[i],
+		CertDER:      s.certs[i],
+		SessionCache: s.cache,
+		Suites:       s.suites,
+		Version:      s.version,
+		Telemetry:    s.telemetry,
+	}
+	if s.engine != nil {
+		cfg.Decrypter = s.engine.Decrypter(i)
+	}
+	return cfg
+}
+
+func (s *server) serve(tc net.Conn, payload []byte) {
+	conn := ssl.ServerConn(tc, s.configFor())
 	defer conn.Close()
 	if err := conn.Handshake(); err != nil {
 		// The telemetry registry (when enabled) has already counted

@@ -1,0 +1,163 @@
+package bn
+
+import "testing"
+
+// ref computes x1^e1·x2^e2 mod N the slow, obviously-correct way.
+func refExp2(x1, e1, x2, e2, N *Int) *Int {
+	a := New().ModExp(x1, e1, N)
+	b := New().ModExp(x2, e2, N)
+	z := New().Mul(a, b)
+	return z.Mod(z, N)
+}
+
+func TestExp2MatchesTwoExps(t *testing.T) {
+	rnd := newRandReader(42)
+	for trial := 0; trial < 20; trial++ {
+		N, err := New().Rand(rnd, 256, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		N.d[0] |= 1 // force odd for the Montgomery path
+		if N.BitLen() < 2 {
+			continue
+		}
+		x1, _ := New().RandRange(rnd, N)
+		x2, _ := New().RandRange(rnd, N)
+		e1, _ := New().Rand(rnd, 64, false)
+		e2, _ := New().Rand(rnd, 48, false)
+		got := New().ModExp2(x1, e1, x2, e2, N)
+		want := refExp2(x1, e1, x2, e2, N)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: ModExp2 = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestExp2EdgeCases(t *testing.T) {
+	N := NewInt(1000003) // odd
+	x1 := NewInt(12345)
+	x2 := NewInt(67890)
+	cases := []struct{ e1, e2 uint64 }{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 17}, {17, 0},
+		{3, 65537}, {65537, 3}, {1, 1 << 40},
+	}
+	for _, c := range cases {
+		got := New().ModExp2(x1, NewInt(c.e1), x2, NewInt(c.e2), N)
+		want := refExp2(x1, NewInt(c.e1), x2, NewInt(c.e2), N)
+		if !got.Equal(want) {
+			t.Errorf("e1=%d e2=%d: got %v want %v", c.e1, c.e2, got, want)
+		}
+	}
+	// Even modulus falls back to the two-exponentiation path.
+	evenN := NewInt(1000000)
+	got := New().ModExp2(x1, NewInt(7), x2, NewInt(11), evenN)
+	want := refExp2(x1, NewInt(7), x2, NewInt(11), evenN)
+	if !got.Equal(want) {
+		t.Errorf("even N: got %v want %v", got, want)
+	}
+}
+
+func TestExpUint64MatchesModExp(t *testing.T) {
+	rnd := newRandReader(7)
+	N, err := New().Rand(rnd, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N.d[0] |= 1
+	m, err := NewMont(N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := New().RandRange(rnd, N)
+	for _, e := range []uint64{0, 1, 2, 3, 17, 23, 65537, 1155, 111546435, 1 << 40, ^uint64(0)} {
+		got := m.ExpUint64(New(), x, e)
+		want := New().ModExp(x, New().SetUint64(e), N)
+		if !got.Equal(want) {
+			t.Errorf("e=%d: ExpUint64 = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestExp2Uint64MatchesTwoExps(t *testing.T) {
+	rnd := newRandReader(9)
+	N, err := New().Rand(rnd, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N.d[0] |= 1
+	m, err := NewMont(N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := New().RandRange(rnd, N)
+	x2, _ := New().RandRange(rnd, N)
+	cases := []struct{ e1, e2 uint64 }{
+		{0, 0}, {0, 1}, {1, 0}, {3, 5}, {23, 19},
+		{1155, 96577}, {111546434, 1}, {1 << 30, 1<<30 + 1},
+	}
+	for _, c := range cases {
+		got := m.Exp2Uint64(New(), x1, c.e1, x2, c.e2)
+		want := refExp2(x1, New().SetUint64(c.e1), x2, New().SetUint64(c.e2), N)
+		if !got.Equal(want) {
+			t.Errorf("e1=%d e2=%d: got %v want %v", c.e1, c.e2, got, want)
+		}
+	}
+}
+
+func TestProductTree(t *testing.T) {
+	xs := []*Int{NewInt(2), NewInt(3), NewInt(5), NewInt(7), NewInt(11)}
+	tree := ProductTree(xs)
+	top := tree[len(tree)-1]
+	if len(top) != 1 {
+		t.Fatalf("top level has %d entries", len(top))
+	}
+	if want := NewInt(2 * 3 * 5 * 7 * 11); !top[0].Equal(want) {
+		t.Fatalf("root = %v, want %v", top[0], want)
+	}
+	// Every level's total product is invariant.
+	for lv, level := range tree {
+		p := NewInt(1)
+		for _, x := range level {
+			p.Mul(p, x)
+		}
+		if !p.Equal(top[0]) {
+			t.Errorf("level %d product = %v, want %v", lv, p, top[0])
+		}
+	}
+	// Inputs must not be mutated or aliased.
+	if !xs[0].Equal(NewInt(2)) {
+		t.Error("ProductTree mutated its input")
+	}
+}
+
+func TestBatchModInverse(t *testing.T) {
+	N := NewInt(1000003) // prime, so everything nonzero is invertible
+	xs := []*Int{NewInt(2), NewInt(999), NewInt(123456), NewInt(1), NewInt(1000002)}
+	zs := make([]*Int, len(xs))
+	if !BatchModInverse(zs, xs, N) {
+		t.Fatal("BatchModInverse reported non-invertible input")
+	}
+	for i := range xs {
+		want := New().ModInverse(xs[i], N)
+		if !zs[i].Equal(want) {
+			t.Errorf("zs[%d] = %v, want %v", i, zs[i], want)
+		}
+	}
+	// Aliasing zs[i] = xs[i] must work.
+	alias := []*Int{NewInt(7), NewInt(13)}
+	if !BatchModInverse(alias, alias, N) {
+		t.Fatal("aliased BatchModInverse failed")
+	}
+	if want := New().ModInverse(NewInt(7), N); !alias[0].Equal(want) {
+		t.Errorf("aliased zs[0] = %v, want %v", alias[0], want)
+	}
+	// A non-invertible element fails the whole batch.
+	bad := []*Int{NewInt(3), NewInt(0)}
+	if BatchModInverse(make([]*Int, 2), bad, N) {
+		t.Error("expected failure for zero input")
+	}
+	composite := NewInt(15)
+	if BatchModInverse(make([]*Int, 1), []*Int{NewInt(5)}, composite) {
+		t.Error("expected failure for gcd(5,15) != 1")
+	}
+}

@@ -16,15 +16,20 @@ import (
 
 // ServerConfig holds the server-side handshake parameters.
 type ServerConfig struct {
-	Key     *rsa.PrivateKey // server RSA key (decrypts the CKE, signs DHE params)
-	CertDER []byte          // DER leaf certificate presented to clients
+	Key *rsa.PrivateKey // server RSA key (decrypts the CKE, signs DHE params)
+	// Decrypter, when non-nil, handles the ClientKeyExchange
+	// decryption instead of Key — the hook the batch RSA engine plugs
+	// into. Key is still required for DHE signing; for RSA key
+	// exchange a Decrypter alone suffices.
+	Decrypter rsa.Decrypter
+	CertDER   []byte // DER leaf certificate presented to clients
 	// Chain holds intermediate certificates (leaf's issuer first),
 	// sent after the leaf in the Certificate message.
-	Chain [][]byte
-	Rand    io.Reader       // randomness source
-	Cache   *SessionCache   // optional: enables session resumption
-	Suites  []suite.ID      // acceptable suites in preference order; nil = all
-	Time    func() time.Time
+	Chain  [][]byte
+	Rand   io.Reader     // randomness source
+	Cache  *SessionCache // optional: enables session resumption
+	Suites []suite.ID    // acceptable suites in preference order; nil = all
+	Time   func() time.Time
 	// DHParams is the group for DHE suites; defaults to the 1024-bit
 	// Oakley group 2.
 	DHParams *dh.Params
@@ -65,7 +70,7 @@ type Result struct {
 // l armed with the negotiated bulk cipher in both directions. When a
 // is non-nil it records the Table 2 step/crypto anatomy.
 func Server(l *record.Layer, cfg *ServerConfig, a *Anatomy) (*Result, error) {
-	if cfg.Key == nil || len(cfg.CertDER) == 0 {
+	if (cfg.Key == nil && cfg.Decrypter == nil) || len(cfg.CertDER) == 0 {
 		return nil, errors.New("handshake: server needs a key and certificate")
 	}
 	if cfg.Rand == nil {
@@ -394,6 +399,9 @@ func (s *serverState) sendCertificate() error {
 // sendServerKeyExchange generates the ephemeral DH key, signs the
 // parameters with the server's RSA key, and sends the message.
 func (s *serverState) sendServerKeyExchange() error {
+	if s.cfg.Key == nil {
+		return errors.New("handshake: DHE suites need the full RSA key for signing")
+	}
 	params := s.cfg.dhParams()
 	if err := s.a.cryptoErr(FnDHGenerateKey, func() error {
 		var err error
@@ -458,9 +466,13 @@ func (s *serverState) getClientKeyExchange() error {
 		if err := ckx.unmarshal(body); err != nil {
 			return err
 		}
+		dec := rsa.Decrypter(s.cfg.Key)
+		if s.cfg.Decrypter != nil {
+			dec = s.cfg.Decrypter
+		}
 		if err := s.a.cryptoErr(FnRSAPrivateDecrypt, func() error {
 			var err error
-			preMaster, err = s.cfg.Key.DecryptPKCS1(s.cfg.Rand, ckx.encryptedPreMaster)
+			preMaster, err = dec.DecryptPKCS1(s.cfg.Rand, ckx.encryptedPreMaster)
 			return err
 		}); err != nil {
 			return err

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"sslperf/internal/sslcrypto"
@@ -190,6 +191,22 @@ type Layer struct {
 	version uint16
 
 	readBuf [headerLen]byte
+
+	// readScratch backs the record body handed to open; the payload
+	// ReadRecord returns aliases it, which is what makes the read path
+	// allocation-free per record (see ReadRecord's contract).
+	readScratch []byte
+}
+
+// sealPool recycles outbound record bodies across connections: one
+// seal needs payload+MAC+padding contiguous, and the buffer is dead as
+// soon as the fragment hits the wire, so pooling removes the per-record
+// allocation from the bulk-transfer write path.
+var sealPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxFragment+64)
+		return &b
+	},
 }
 
 // SetProtocolVersion pins the record-layer protocol version after
@@ -259,16 +276,25 @@ func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
 }
 
 // writeFragment seals and sends one fragment: payload ‖ MAC ‖ padding.
-func (l *Layer) writeFragment(typ ContentType, payload []byte) error {
-	var mac []byte
+// The body is assembled in a pooled scratch buffer — MAC appended in
+// place, padding in place, cipher in place — so a steady-state seal
+// performs zero heap allocations.
+func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
+	// Timing is inlined rather than routed through timeCrypto: the
+	// closure a timeCrypto call would need captures the growing body
+	// slice and forces a heap allocation per record.
+	bp := sealPool.Get().(*[]byte)
+	body := append((*bp)[:0], payload...)
 	if l.out.mac != nil {
-		l.timeCrypto(OpMACCompute, len(payload), func() {
-			mac = l.out.mac.Compute(l.out.seq, byte(typ), payload)
-		})
+		var start time.Time
+		if l.OnCrypto != nil {
+			start = time.Now()
+		}
+		body = l.out.mac.AppendCompute(body, l.out.seq, byte(typ), payload)
+		if l.OnCrypto != nil {
+			l.OnCrypto(OpMACCompute, len(payload), time.Since(start))
+		}
 	}
-	body := make([]byte, 0, len(payload)+len(mac)+64)
-	body = append(body, payload...)
-	body = append(body, mac...)
 	if l.out.active() {
 		if bs := l.out.cipher.BlockSize(); bs > 1 {
 			// Block padding: pad bytes then a count byte; total
@@ -284,17 +310,26 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) error {
 			}
 			body = append(body, byte(padLen))
 		}
-		l.timeCrypto(OpCipherEncrypt, len(body), func() {
-			l.out.cipher.Encrypt(body)
-		})
+		var start time.Time
+		if l.OnCrypto != nil {
+			start = time.Now()
+		}
+		l.out.cipher.Encrypt(body)
+		if l.OnCrypto != nil {
+			l.OnCrypto(OpCipherEncrypt, len(body), time.Since(start))
+		}
 	}
 	hdr := [headerLen]byte{byte(typ)}
 	binary.BigEndian.PutUint16(hdr[1:], l.writeVersion())
 	binary.BigEndian.PutUint16(hdr[3:], uint16(len(body)))
-	if _, err := l.rw.Write(hdr[:]); err != nil {
-		return err
+	_, err = l.rw.Write(hdr[:])
+	if err == nil {
+		_, err = l.rw.Write(body)
 	}
-	if _, err := l.rw.Write(body); err != nil {
+	// Keep any growth the appends caused for the next seal.
+	*bp = body[:0]
+	sealPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	l.out.seq++
@@ -312,6 +347,12 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) error {
 // ReadRecord reads and opens the next record, returning its type and
 // plaintext payload. Alerts are surfaced as *AlertError (close_notify
 // additionally returns ErrClosed on subsequent reads).
+//
+// The returned payload aliases the layer's internal scratch buffer and
+// is valid only until the next ReadRecord call — callers that need it
+// longer must copy. (The handshake message reader copies, and the ssl
+// Conn drains its buffer before reading again, so within this stack
+// the aliasing is free.)
 func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	if _, err := io.ReadFull(l.rw, l.readBuf[:]); err != nil {
 		return 0, nil, err
@@ -325,7 +366,10 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	if length == 0 || length > MaxFragment+2048 {
 		return 0, nil, fmt.Errorf("record: implausible record length %d", length)
 	}
-	body := make([]byte, length)
+	if cap(l.readScratch) < length {
+		l.readScratch = make([]byte, length)
+	}
+	body := l.readScratch[:length]
 	if _, err := io.ReadFull(l.rw, body); err != nil {
 		return 0, nil, err
 	}

@@ -33,6 +33,15 @@ var Phases = []string{
 	PhaseComputation, PhaseBNToData, PhaseBlockParsing,
 }
 
+// A Decrypter performs the RSA private-key operation on a PKCS#1
+// v1.5 ciphertext. *PrivateKey implements it directly (CRT with
+// blinding); the rsabatch package provides implementations that
+// amortize the modular exponentiation across concurrent requests.
+// Implementations must be safe for concurrent use.
+type Decrypter interface {
+	DecryptPKCS1(rnd io.Reader, ct []byte) ([]byte, error)
+}
+
 // PublicKey is an RSA public key (N, e).
 type PublicKey struct {
 	N *bn.Int // modulus
@@ -144,6 +153,32 @@ func (priv *PrivateKey) privateCRT(c *bn.Int) *bn.Int {
 	// m = m2 + h*Q
 	m := bn.New().Mul(h, priv.Q)
 	return m.Add(m, m2)
+}
+
+// CRT exposes the raw CRT private operation c^d mod N (no blinding,
+// no padding) — the batch engine's fallback and cross-check entry
+// point. c must be in [0, N).
+func (priv *PrivateKey) CRT(c *bn.Int) *bn.Int { return priv.privateCRT(c) }
+
+// CiphertextToInt performs the decryption front half shared with the
+// batch path: the length check of the init phase and the
+// octet-string→bignum conversion (Table 7 phases 1–2).
+func (priv *PrivateKey) CiphertextToInt(ct []byte) (*bn.Int, error) {
+	if len(ct) != priv.Size() {
+		return nil, errors.New("rsa: ciphertext length does not match key size")
+	}
+	c := bn.New().SetBytes(ct)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, errors.New("rsa: ciphertext out of range")
+	}
+	return c, nil
+}
+
+// FinishDecrypt performs the decryption back half shared with the
+// batch path: bignum→octet-string conversion and PKCS#1 block
+// parsing (Table 7 phases 5–6) on a recovered plaintext integer.
+func (priv *PrivateKey) FinishDecrypt(m *bn.Int) ([]byte, error) {
+	return parsePKCS1Type2(m.FillBytes(make([]byte, priv.Size())))
 }
 
 // privatePlain applies c^d mod N without CRT (for cross-checking).

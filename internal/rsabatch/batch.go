@@ -1,0 +1,273 @@
+package rsabatch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sslperf/internal/bn"
+)
+
+// ErrVerify marks a batch item whose recovered plaintext failed the
+// cheap re-encryption self-check m^e ≡ c. It should never fire for
+// well-formed ciphertexts; the engine responds by retrying the item
+// through the per-request CRT path.
+var ErrVerify = errors.New("rsabatch: batch result failed re-encryption check")
+
+// node is one vertex of the Fiat batch tree. Leaves carry one
+// request; internal nodes carry the product of the exponents below
+// them, the combined value of the percolate-up phase, and the
+// precomputed split data for percolate-down.
+type node struct {
+	l, r *node
+	item int     // leaf: index into the batch; internal: -1
+	e    uint64  // ∏ e_i over the leaves below
+	v    *bn.Int // percolate-up value: ∏ v_i^(e/e_i)
+	m    *bn.Int // percolate-down result: v^(1/e)
+
+	// Percolate-down exponents: α ≡ 1 mod eL, 0 mod eR and
+	// β = eL·eR + 1 − α (so β ≡ 0 mod eL, 1 mod eR).
+	alpha, beta uint64
+	// Inverses of the percolate-down denominators
+	// Tα = vL^((α−1)/eL)·vR^(α/eR) and Tβ = vL^(β/eL)·vR^((β−1)/eR).
+	// Both depend only on percolate-up values, so every inverse in
+	// the batch — these and the blinding factor — is produced by ONE
+	// modular inversion via Montgomery's trick.
+	tAlphaInv, tBetaInv *bn.Int
+}
+
+// DecryptBatch decrypts cts[i] under ks.Keys[idxs[i]] for all i with
+// one full-size CRT exponentiation plus one modular inversion (Fiat's
+// batch RSA with batched division), returning the unpadded
+// plaintexts. The key indices must be distinct — Fiat's construction
+// needs pairwise-coprime exponents. Per-item failures (malformed
+// ciphertext, bad padding, self-check mismatch) land in errs[i]; a
+// non-nil err means the whole batch was abandoned and no item was
+// decrypted.
+//
+// When rnd is non-nil the root exponentiation is blinded: the
+// combined value V is multiplied by r^E before the private op and the
+// result by r⁻¹ after, so the one secret-exponent operation a timing
+// attacker could probe (Brumley & Boneh, the paper's [3]) never sees
+// attacker-chosen input. Per-item results are bit-exact with
+// PrivateKey.DecryptPKCS1 either way.
+func (ks *KeySet) DecryptBatch(rnd io.Reader, idxs []int, cts [][]byte) (pts [][]byte, errs []error, err error) {
+	if len(idxs) != len(cts) {
+		return nil, nil, errors.New("rsabatch: idxs/cts length mismatch")
+	}
+	if len(idxs) == 0 {
+		return nil, nil, nil
+	}
+	var mask uint32
+	for _, idx := range idxs {
+		if idx < 0 || idx >= len(ks.Keys) {
+			return nil, nil, fmt.Errorf("rsabatch: key index %d out of range", idx)
+		}
+		if mask&(1<<uint(idx)) != 0 {
+			return nil, nil, fmt.Errorf("rsabatch: duplicate key index %d in batch", idx)
+		}
+		mask |= 1 << uint(idx)
+	}
+
+	pts = make([][]byte, len(idxs))
+	errs = make([]error, len(idxs))
+
+	// Leaves: parse ciphertexts (Table 7 phases 1–2). A bad item is
+	// reported in errs and excluded from the tree.
+	leaves := make([]*node, 0, len(idxs))
+	vals := make([]*bn.Int, len(idxs))
+	for i, idx := range idxs {
+		c, cerr := ks.Keys[idx].CiphertextToInt(cts[i])
+		if cerr != nil {
+			errs[i] = cerr
+			mask &^= 1 << uint(idx)
+			continue
+		}
+		vals[i] = c
+		leaves = append(leaves, &node{item: i, e: BatchExponents[idx]})
+	}
+	if len(leaves) == 0 {
+		return pts, errs, nil
+	}
+
+	root := buildTree(leaves)
+
+	// Percolate up: each internal node combines its children as
+	// v = vL^(eR) · vR^(eL), so the root holds ∏ v_i^(E/e_i).
+	ks.percolateUp(root, vals)
+
+	// Precompute every percolate-down denominator, draw the blinding
+	// factor, and resolve ALL needed inverses with one inversion.
+	var toInvert []*bn.Int
+	if err := ks.prepDown(root, &toInvert); err != nil {
+		return nil, nil, err
+	}
+	var r *bn.Int
+	if rnd != nil {
+		var rerr error
+		if r, rerr = bn.New().RandRange(rnd, ks.N); rerr != nil {
+			return nil, nil, rerr
+		}
+		toInvert = append(toInvert, r)
+	}
+	invs := make([]*bn.Int, len(toInvert))
+	if !bn.BatchModInverse(invs, toInvert, ks.N) {
+		return nil, nil, errors.New("rsabatch: batch value not invertible (input shares a factor with N)")
+	}
+	ks.assignInverses(root, invs)
+
+	// Root: one full-size CRT exponentiation with d = E⁻¹ mod φ(N),
+	// optionally blinded with r^E / r⁻¹.
+	re := ks.root(mask)
+	v := root.v
+	if r != nil {
+		rE := ks.mont.ExpUint64(bn.New(), r, root.e)
+		v = bn.New().Mul(v, rE)
+		v.Mod(v, ks.N)
+	}
+	m := ks.crtExp(v, re)
+	if r != nil {
+		rinv := invs[len(invs)-1]
+		m.Mul(m, rinv)
+		m.Mod(m, ks.N)
+	}
+	root.m = m
+
+	// Percolate down: split each node's m into its children's roots.
+	ks.percolateDown(root)
+
+	// Harvest: self-check and unpad each leaf (Table 7 phases 5–6).
+	ks.harvest(root, vals, idxs, pts, errs)
+	return pts, errs, nil
+}
+
+// buildTree assembles a balanced binary tree over the leaves.
+func buildTree(leaves []*node) *node {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	mid := len(leaves) / 2
+	l := buildTree(leaves[:mid])
+	r := buildTree(leaves[mid:])
+	return &node{l: l, r: r, item: -1, e: l.e * r.e}
+}
+
+// percolateUp fills in the combined values bottom-up.
+func (ks *KeySet) percolateUp(n *node, vals []*bn.Int) {
+	if n.item >= 0 {
+		n.v = vals[n.item]
+		return
+	}
+	ks.percolateUp(n.l, vals)
+	ks.percolateUp(n.r, vals)
+	// v = vL^(eR) · vR^(eL): one shared-chain double exponentiation
+	// with exponents bounded by ∏ e_i ≤ 2^27.
+	n.v = ks.mont.Exp2Uint64(bn.New(), n.l.v, n.r.e, n.r.v, n.l.e)
+}
+
+// prepDown computes each internal node's split exponents α, β and the
+// denominators Tα, Tβ, appending the denominators to toInvert in the
+// order assignInverses will consume them. Everything here depends
+// only on percolate-up values, which is what lets the divisions batch.
+func (ks *KeySet) prepDown(n *node, toInvert *[]*bn.Int) error {
+	if n.item >= 0 {
+		return nil
+	}
+	eL, eR := n.l.e, n.r.e
+	t, ok := invMod64(eR, eL)
+	if !ok {
+		return fmt.Errorf("rsabatch: exponents %d and %d not coprime", eL, eR)
+	}
+	n.alpha = eR * t // α ≡ 1 (mod eL), α ≡ 0 (mod eR), α < eL·eR
+	n.beta = eL*eR + 1 - n.alpha
+	tAlpha := ks.mont.Exp2Uint64(bn.New(),
+		n.l.v, (n.alpha-1)/eL,
+		n.r.v, n.alpha/eR)
+	tBeta := ks.mont.Exp2Uint64(bn.New(),
+		n.l.v, n.beta/eL,
+		n.r.v, (n.beta-1)/eR)
+	*toInvert = append(*toInvert, tAlpha, tBeta)
+	if err := ks.prepDown(n.l, toInvert); err != nil {
+		return err
+	}
+	return ks.prepDown(n.r, toInvert)
+}
+
+// assignInverses distributes the batch-inverted denominators back to
+// the internal nodes, mirroring prepDown's walk order.
+func (ks *KeySet) assignInverses(root *node, invs []*bn.Int) {
+	i := 0
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.item >= 0 {
+			return
+		}
+		n.tAlphaInv, n.tBetaInv = invs[i], invs[i+1]
+		i += 2
+		walk(n.l)
+		walk(n.r)
+	}
+	walk(root)
+}
+
+// percolateDown splits m = v^(1/(eL·eR)) at each internal node into
+// mL = vL^(1/eL) and mR = vR^(1/eR) via the CRT-over-exponents
+// identities
+//
+//	mL = m^α · Tα⁻¹    mR = m^β · Tβ⁻¹
+//
+// using only small exponentiations (α, β < ∏ e_i ≤ 2^27) and the
+// pre-batched inverses — no divisions and no secret-size work.
+func (ks *KeySet) percolateDown(n *node) {
+	if n.item >= 0 {
+		return
+	}
+	mL := ks.mont.ExpUint64(bn.New(), n.m, n.alpha)
+	mL.Mul(mL, n.tAlphaInv)
+	mL.Mod(mL, ks.N)
+	mR := ks.mont.ExpUint64(bn.New(), n.m, n.beta)
+	mR.Mul(mR, n.tBetaInv)
+	mR.Mod(mR, ks.N)
+	n.l.m, n.r.m = mL, mR
+	ks.percolateDown(n.l)
+	ks.percolateDown(n.r)
+}
+
+// harvest walks the leaves, re-encrypts each recovered root as a
+// cheap self-check (e is tiny, so this is a handful of modular
+// multiplies), and strips the PKCS#1 padding.
+func (ks *KeySet) harvest(n *node, vals []*bn.Int, idxs []int, pts [][]byte, errs []error) {
+	if n.item < 0 {
+		ks.harvest(n.l, vals, idxs, pts, errs)
+		ks.harvest(n.r, vals, idxs, pts, errs)
+		return
+	}
+	i := n.item
+	key := ks.Keys[idxs[i]]
+	check := ks.mont.ExpUint64(bn.New(), n.m, BatchExponents[idxs[i]])
+	if !check.Equal(vals[i]) {
+		errs[i] = ErrVerify
+		return
+	}
+	pts[i], errs[i] = key.FinishDecrypt(n.m)
+}
+
+// invMod64 returns x⁻¹ mod m for uint64 inputs via extended Euclid,
+// and whether the inverse exists. m must be ≥ 2.
+func invMod64(x, m uint64) (uint64, bool) {
+	r0, r1 := int64(m), int64(x%m)
+	s0, s1 := int64(0), int64(1)
+	for r1 != 0 {
+		q := r0 / r1
+		r0, r1 = r1, r0-q*r1
+		s0, s1 = s1, s0-q*s1
+	}
+	if r0 != 1 {
+		return 0, false
+	}
+	res := s0 % int64(m)
+	if res < 0 {
+		res += int64(m)
+	}
+	return uint64(res), true
+}

@@ -1,0 +1,79 @@
+package rsabatch
+
+import (
+	cryptorand "crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchBits sizes the benchmark modulus; 1024 matches the paper's
+// server-key size (Table 2 measures 1024-bit RSA).
+const benchBits = 1024
+
+var (
+	benchKSOnce sync.Once
+	benchKS     *KeySet
+	benchKSErr  error
+)
+
+func benchKeySet(b *testing.B) *KeySet {
+	b.Helper()
+	benchKSOnce.Do(func() {
+		benchKS, benchKSErr = GenerateKeySet(cryptorand.Reader, benchBits, MaxBatch)
+	})
+	if benchKSErr != nil {
+		b.Fatal(benchKSErr)
+	}
+	return benchKS
+}
+
+// BenchmarkBatchDecrypt measures the amortization curve: decrypts/s
+// for batch sizes 1, 2, 4, 8 over one shared 1024-bit modulus.
+// batch=1 is the per-request CRT baseline (exactly what an unbatched
+// server pays per handshake); larger sizes share one full-size
+// exponentiation per batch. docs/BENCH_rsa_batch.json records the
+// resulting speedups.
+func BenchmarkBatchDecrypt(b *testing.B) {
+	ks := benchKeySet(b)
+	cts := make([][]byte, MaxBatch)
+	for i := range cts {
+		ct, err := ks.Keys[i].PublicKey.EncryptPKCS1(cryptorand.Reader, []byte(fmt.Sprintf("pre-master %d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	for _, size := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			idxs := make([]int, size)
+			for i := range idxs {
+				idxs[i] = i
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if size == 1 {
+					// The engine resolves singletons through the plain
+					// CRT path; measure exactly that.
+					if _, err := ks.Keys[0].DecryptPKCS1(cryptorand.Reader, cts[0]); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				_, errs, err := ks.DecryptBatch(cryptorand.Reader, idxs, cts[:size])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+			}
+			b.StopTimer()
+			perOp := float64(size)
+			b.ReportMetric(perOp*float64(b.N)/b.Elapsed().Seconds(), "decrypts/s")
+		})
+	}
+}

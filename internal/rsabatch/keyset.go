@@ -1,0 +1,214 @@
+// Package rsabatch implements Fiat's batch RSA for the SSL server's
+// hot path: b concurrent private-key operations against keys that
+// share one modulus but carry distinct small public exponents are
+// resolved with a single full-size modular exponentiation plus a
+// product/CRT tree of cheap small-exponent work — the amortization
+// Pateriya et al. propose for exactly the workload shape of the
+// paper's Table 2, where the server-side RSA private-key operation
+// dominates full-handshake cycles.
+//
+// The package has two layers: KeySet holds the shared-modulus keys
+// and the batch decryption math (DecryptBatch), and Engine is the
+// bounded worker-pool dispatcher that collects concurrent handshake
+// decrypt requests into batches, flushing on size, linger timeout, or
+// an exponent collision, and falling back transparently to
+// per-request CRT decryption for keys outside the set.
+package rsabatch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sslperf/internal/bn"
+	"sslperf/internal/rsa"
+)
+
+// BatchExponents lists the public exponents a KeySet draws from, in
+// assignment order: the first odd primes, pairwise coprime as Fiat's
+// construction requires. Its length caps the batch width.
+var BatchExponents = []uint64{3, 5, 7, 11, 13, 17, 19, 23}
+
+// MaxBatch is the largest supported batch width.
+var MaxBatch = len(BatchExponents)
+
+// A KeySet is a family of RSA private keys sharing one modulus
+// N = p·q with distinct small public exponents e_i (BatchExponents),
+// generated so every e_i is coprime to φ(N). A server deploys one
+// certificate per key and assigns them to connections round-robin;
+// concurrent decryptions under distinct exponents then batch into a
+// single full-size exponentiation. All methods are safe for
+// concurrent use.
+type KeySet struct {
+	N    *bn.Int
+	Keys []*rsa.PrivateKey // Keys[i] has public exponent BatchExponents[i]
+
+	p, q, qinv *bn.Int // CRT parameters for the root exponentiation
+	pm1, qm1   *bn.Int // p−1, q−1
+	phi        *bn.Int
+	// Cached Montgomery contexts: every batch reuses them, so the
+	// R²-mod setup division is paid once per key set, not per
+	// exponentiation.
+	mont         *bn.Mont // mod N
+	montP, montQ *bn.Mont // mod p, mod q
+
+	mu    sync.Mutex
+	roots map[uint32]*rootExp // exponent-subset mask → cached root exponents
+}
+
+// rootExp caches the CRT split of d = E⁻¹ mod φ(N) for one subset of
+// exponents (E = ∏ e_i over the subset).
+type rootExp struct {
+	dp, dq *bn.Int
+}
+
+// GenerateKeySet generates a KeySet of b keys with a bits-sized
+// shared modulus. Primes are retried until every batch exponent is
+// coprime to p−1 and q−1 (for the first 8 odd primes roughly one
+// candidate in four survives, so expect a few extra prime
+// generations over a plain GenerateKey).
+func GenerateKeySet(rnd io.Reader, bits, b int) (*KeySet, error) {
+	if b < 1 || b > MaxBatch {
+		return nil, fmt.Errorf("rsabatch: batch width must be in [1, %d]", MaxBatch)
+	}
+	if bits < 128 || bits%2 != 0 {
+		return nil, errors.New("rsabatch: key size must be an even number of bits >= 128")
+	}
+	es := BatchExponents[:b]
+	one := bn.NewInt(1)
+	for {
+		p, err := batchPrime(rnd, bits/2, es)
+		if err != nil {
+			return nil, err
+		}
+		q, err := batchPrime(rnd, bits/2, es)
+		if err != nil {
+			return nil, err
+		}
+		if p.Equal(q) {
+			continue
+		}
+		if p.Cmp(q) < 0 {
+			p, q = q, p
+		}
+		n := bn.New().Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		qinv := bn.New().ModInverse(q, p)
+		if qinv == nil {
+			continue
+		}
+		pm1 := bn.New().Sub(p, one)
+		qm1 := bn.New().Sub(q, one)
+		phi := bn.New().Mul(pm1, qm1)
+		mont, err := bn.NewMont(n)
+		if err != nil {
+			return nil, err
+		}
+		montP, err := bn.NewMont(p)
+		if err != nil {
+			return nil, err
+		}
+		montQ, err := bn.NewMont(q)
+		if err != nil {
+			return nil, err
+		}
+		ks := &KeySet{
+			N: n, p: p, q: q, qinv: qinv, pm1: pm1, qm1: qm1, phi: phi,
+			mont: mont, montP: montP, montQ: montQ,
+			roots: make(map[uint32]*rootExp),
+		}
+		for _, e := range es {
+			eInt := bn.NewInt(e)
+			d := bn.New().ModInverse(eInt, phi)
+			if d == nil {
+				// batchPrime guarantees coprimality; unreachable.
+				return nil, errors.New("rsabatch: exponent not invertible mod phi")
+			}
+			ks.Keys = append(ks.Keys, &rsa.PrivateKey{
+				PublicKey: rsa.PublicKey{N: n, E: eInt},
+				D:         d,
+				P:         p,
+				Q:         q,
+				Dp:        bn.New().Mod(d, pm1),
+				Dq:        bn.New().Mod(d, qm1),
+				Qinv:      qinv,
+			})
+		}
+		return ks, nil
+	}
+}
+
+// batchPrime generates a prime p with gcd(e, p−1) = 1 for every
+// batch exponent e.
+func batchPrime(rnd io.Reader, bitLen int, es []uint64) (*bn.Int, error) {
+	one := bn.NewInt(1)
+	for {
+		p, err := bn.GeneratePrime(rnd, bitLen)
+		if err != nil {
+			return nil, err
+		}
+		pm1 := bn.New().Sub(p, one)
+		ok := true
+		for _, e := range es {
+			if bn.New().GCD(pm1, bn.NewInt(e)).IsOne() {
+				continue
+			}
+			ok = false
+			break
+		}
+		if ok {
+			return p, nil
+		}
+	}
+}
+
+// Contains reports the index of key within the set, or -1. Matching
+// is by pointer identity: the set's own keys, not copies.
+func (ks *KeySet) Contains(key *rsa.PrivateKey) int {
+	for i, k := range ks.Keys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// root returns the cached CRT exponents of d = (∏ e_i)⁻¹ mod φ(N)
+// for the exponent subset identified by mask (bit i set ⇒ Keys[i]
+// participates).
+func (ks *KeySet) root(mask uint32) *rootExp {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if r := ks.roots[mask]; r != nil {
+		return r
+	}
+	e := bn.NewInt(1)
+	for i := 0; i < len(ks.Keys); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			e.Mul(e, bn.NewInt(BatchExponents[i]))
+		}
+	}
+	d := bn.New().ModInverse(e, ks.phi)
+	r := &rootExp{
+		dp: bn.New().Mod(d, ks.pm1),
+		dq: bn.New().Mod(d, ks.qm1),
+	}
+	ks.roots[mask] = r
+	return r
+}
+
+// crtExp computes c^d mod N where d is given by its CRT split —
+// the one full-size exponentiation each batch pays.
+func (ks *KeySet) crtExp(c *bn.Int, r *rootExp) *bn.Int {
+	m1 := ks.montP.Exp(bn.New(), bn.New().Mod(c, ks.p), r.dp)
+	m2 := ks.montQ.Exp(bn.New(), bn.New().Mod(c, ks.q), r.dq)
+	h := bn.New().Sub(m1, m2)
+	h.Mod(h, ks.p)
+	h.Mul(h, ks.qinv)
+	h.Mod(h, ks.p)
+	m := bn.New().Mul(h, ks.q)
+	return m.Add(m, m2)
+}

@@ -1,0 +1,361 @@
+package rsabatch
+
+import (
+	"bytes"
+	cryptorand "crypto/rand"
+	stdrsa "crypto/rsa"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"sslperf/internal/bn"
+	"sslperf/internal/rsa"
+)
+
+// testBits keeps the shared test modulus small enough that the
+// retry-heavy KeySet generation stays fast.
+const testBits = 512
+
+var (
+	testKSOnce sync.Once
+	testKS     *KeySet
+	testKSErr  error
+)
+
+// keySet returns one full-width KeySet shared by every test.
+func keySet(t *testing.T) *KeySet {
+	t.Helper()
+	testKSOnce.Do(func() {
+		testKS, testKSErr = GenerateKeySet(cryptorand.Reader, testBits, MaxBatch)
+	})
+	if testKSErr != nil {
+		t.Fatal(testKSErr)
+	}
+	return testKS
+}
+
+func TestGenerateKeySet(t *testing.T) {
+	ks := keySet(t)
+	if len(ks.Keys) != MaxBatch {
+		t.Fatalf("got %d keys, want %d", len(ks.Keys), MaxBatch)
+	}
+	for i, key := range ks.Keys {
+		if !key.N.Equal(ks.N) {
+			t.Fatalf("key %d does not share the modulus", i)
+		}
+		if e, ok := key.E.Uint64(); !ok || e != BatchExponents[i] {
+			t.Fatalf("key %d exponent %d, want %d", i, e, BatchExponents[i])
+		}
+		if err := key.Validate(); err != nil {
+			t.Fatalf("key %d invalid: %v", i, err)
+		}
+	}
+	if _, err := GenerateKeySet(cryptorand.Reader, testBits, 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := GenerateKeySet(cryptorand.Reader, testBits, MaxBatch+1); err == nil {
+		t.Fatal("over-wide set accepted")
+	}
+}
+
+// toStdKey converts one of our keys to a crypto/rsa key so the batch
+// path can be cross-checked against the standard library.
+func toStdKey(key *rsa.PrivateKey) *stdrsa.PrivateKey {
+	toBig := func(x *bn.Int) *big.Int { return new(big.Int).SetBytes(x.Bytes()) }
+	e, _ := key.E.Uint64()
+	return &stdrsa.PrivateKey{
+		PublicKey: stdrsa.PublicKey{
+			N: toBig(key.N),
+			E: int(e),
+		},
+		D:      toBig(key.D),
+		Primes: []*big.Int{toBig(key.P), toBig(key.Q)},
+	}
+}
+
+// TestBatchMatchesCRTAndStdlib is the bit-exactness cross-check the
+// acceptance criteria require: for every batch size 1..MaxBatch, the
+// batch result equals both our per-request CRT decryption and the
+// standard library's, on ciphertexts produced by both encrypters.
+func TestBatchMatchesCRTAndStdlib(t *testing.T) {
+	ks := keySet(t)
+	for b := 1; b <= MaxBatch; b++ {
+		t.Run(fmt.Sprintf("batch=%d", b), func(t *testing.T) {
+			idxs := make([]int, b)
+			cts := make([][]byte, b)
+			msgs := make([][]byte, b)
+			for i := 0; i < b; i++ {
+				idxs[i] = i
+				msgs[i] = []byte(fmt.Sprintf("pre-master secret %d for batch %d", i, b))
+				// Alternate encrypters so both wire formats are covered.
+				if i%2 == 0 {
+					ct, err := ks.Keys[i].PublicKey.EncryptPKCS1(cryptorand.Reader, msgs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					cts[i] = ct
+				} else {
+					ct, err := stdrsa.EncryptPKCS1v15(cryptorand.Reader, &toStdKey(ks.Keys[i]).PublicKey, msgs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					cts[i] = ct
+				}
+			}
+			pts, errs, err := ks.DecryptBatch(cryptorand.Reader, idxs, cts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < b; i++ {
+				if errs[i] != nil {
+					t.Fatalf("item %d: %v", i, errs[i])
+				}
+				if !bytes.Equal(pts[i], msgs[i]) {
+					t.Fatalf("item %d: plaintext mismatch", i)
+				}
+				crt, err := ks.Keys[i].DecryptPKCS1(cryptorand.Reader, cts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(pts[i], crt) {
+					t.Fatalf("item %d: batch result differs from CRT decryption", i)
+				}
+				std, err := stdrsa.DecryptPKCS1v15(nil, toStdKey(ks.Keys[i]), cts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(pts[i], std) {
+					t.Fatalf("item %d: batch result differs from crypto/rsa", i)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchUnblinded checks the rnd == nil path gives the same bits.
+func TestBatchUnblinded(t *testing.T) {
+	ks := keySet(t)
+	idxs := []int{1, 4, 6}
+	cts := make([][]byte, len(idxs))
+	msgs := make([][]byte, len(idxs))
+	for i, idx := range idxs {
+		msgs[i] = []byte{byte(i + 1), 0xAB, 0xCD}
+		ct, err := ks.Keys[idx].PublicKey.EncryptPKCS1(cryptorand.Reader, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	pts, errs, err := ks.DecryptBatch(nil, idxs, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range idxs {
+		if errs[i] != nil || !bytes.Equal(pts[i], msgs[i]) {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+	}
+}
+
+func TestBatchRejectsDuplicateIndex(t *testing.T) {
+	ks := keySet(t)
+	ct, err := ks.Keys[0].PublicKey.EncryptPKCS1(cryptorand.Reader, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ks.DecryptBatch(nil, []int{0, 0}, [][]byte{ct, ct}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, _, err := ks.DecryptBatch(nil, []int{0, 99}, [][]byte{ct, ct}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// TestBatchBadItem checks a malformed ciphertext is isolated to its
+// own errs slot while the rest of the batch decrypts.
+func TestBatchBadItem(t *testing.T) {
+	ks := keySet(t)
+	msg := []byte("good item")
+	good, err := ks.Keys[0].PublicKey.EncryptPKCS1(cryptorand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := []byte{1, 2, 3} // wrong length: fails CiphertextToInt
+	pts, errs, err := ks.DecryptBatch(cryptorand.Reader, []int{0, 3}, [][]byte{good, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || !bytes.Equal(pts[0], msg) {
+		t.Fatalf("good item failed: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("malformed item decrypted")
+	}
+}
+
+// engineRoundTrip pushes one message through a Decrypter handle and
+// checks the plaintext.
+func engineRoundTrip(t *testing.T, dec rsa.Decrypter, pub *rsa.PublicKey, msg []byte) {
+	t.Helper()
+	ct, err := pub.EncryptPKCS1(cryptorand.Reader, msg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	pt, err := dec.DecryptPKCS1(cryptorand.Reader, ct)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Error("plaintext mismatch through engine")
+	}
+}
+
+// TestEngineBatchesFullWindow checks that a full window of concurrent
+// requests is resolved as one batch.
+func TestEngineBatchesFullWindow(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{BatchSize: 4, Linger: time.Second, Rand: cryptorand.Reader})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			engineRoundTrip(t, e.Decrypter(i), &ks.Keys[i].PublicKey, []byte(fmt.Sprintf("req %d", i)))
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Batched != 4 {
+		t.Fatalf("Batched = %d, want 4 (stats: %+v)", st.Batched, st)
+	}
+	if st.FlushFull != 1 {
+		t.Fatalf("FlushFull = %d, want 1 (stats: %+v)", st.FlushFull, st)
+	}
+}
+
+// TestEngineLingerFlush checks a partial batch is flushed by the
+// linger timer rather than waiting forever.
+func TestEngineLingerFlush(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{BatchSize: 8, Linger: 5 * time.Millisecond, Rand: cryptorand.Reader})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			engineRoundTrip(t, e.Decrypter(i), &ks.Keys[i].PublicKey, []byte("linger"))
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Batched+st.Direct != 3 {
+		t.Fatalf("resolved %d requests, want 3 (stats: %+v)", st.Batched+st.Direct, st)
+	}
+	if st.FlushLinger == 0 {
+		t.Fatalf("no linger flush recorded (stats: %+v)", st)
+	}
+}
+
+// TestEngineExponentCollision checks that two requests under the same
+// key force an early flush instead of an invalid batch.
+func TestEngineExponentCollision(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{BatchSize: 8, Linger: 20 * time.Millisecond, Rand: cryptorand.Reader})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Everyone uses key 2: each arrival after the first forces
+			// a collision flush.
+			engineRoundTrip(t, e.Decrypter(2), &ks.Keys[2].PublicKey, []byte(fmt.Sprintf("dup %d", i)))
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Batched+st.Direct != 4 {
+		t.Fatalf("resolved %d requests, want 4 (stats: %+v)", st.Batched+st.Direct, st)
+	}
+}
+
+// TestEngineMixedConcurrent hammers the engine from many goroutines
+// across all keys — the shape the -race acceptance run exercises.
+func TestEngineMixedConcurrent(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{BatchSize: 4, Linger: time.Millisecond, Rand: cryptorand.Reader})
+	defer e.Close()
+	const goroutines = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				idx := (g + it) % len(ks.Keys)
+				engineRoundTrip(t, e.Decrypter(idx), &ks.Keys[idx].PublicKey,
+					[]byte(fmt.Sprintf("msg %d/%d", g, it)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Batched+st.Direct != goroutines*3 {
+		t.Fatalf("resolved %d, want %d (stats: %+v)", st.Batched+st.Direct, goroutines*3, st)
+	}
+}
+
+// TestEngineFallbackForeignKey checks DecrypterFor with a key outside
+// the set (a conventional e=65537 key) is a pure passthrough.
+func TestEngineFallbackForeignKey(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{Rand: cryptorand.Reader})
+	defer e.Close()
+	foreign, err := rsa.GenerateKey(cryptorand.Reader, testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineRoundTrip(t, e.DecrypterFor(foreign), &foreign.PublicKey, []byte("fallback"))
+	if st := e.Stats(); st.Batched != 0 {
+		t.Fatalf("foreign key went through the batch path (stats: %+v)", st)
+	}
+	// A set member resolved through DecrypterFor does go through the
+	// engine.
+	engineRoundTrip(t, e.DecrypterFor(ks.Keys[0]), &ks.Keys[0].PublicKey, []byte("member"))
+	if st := e.Stats(); st.Batched+st.Direct == 0 {
+		t.Fatalf("set member bypassed the engine (stats: %+v)", st)
+	}
+}
+
+// TestEngineCloseUnderLoad checks Close never strands a submitter.
+func TestEngineCloseUnderLoad(t *testing.T) {
+	ks := keySet(t)
+	e := NewEngine(ks, Config{BatchSize: 4, Linger: time.Millisecond, Rand: cryptorand.Reader})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Results may come from the batch, direct, or post-close
+			// drain paths; all must return correct plaintext.
+			engineRoundTrip(t, e.Decrypter(g%len(ks.Keys)), &ks.Keys[g%len(ks.Keys)].PublicKey,
+				[]byte("closing"))
+		}(g)
+	}
+	e.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("submitters stranded after Close")
+	}
+	// Decryption after Close still works (direct path).
+	engineRoundTrip(t, e.Decrypter(0), &ks.Keys[0].PublicKey, []byte("after close"))
+}

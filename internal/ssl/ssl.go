@@ -45,8 +45,12 @@ type Config struct {
 	Time func() time.Time
 
 	// Server side.
-	Key     *rsa.PrivateKey
-	CertDER []byte
+	Key *rsa.PrivateKey
+	// Decrypter, when non-nil, handles the ClientKeyExchange RSA
+	// decryption instead of Key — the hook for the batch RSA engine
+	// (internal/rsabatch). Key remains required for DHE signing.
+	Decrypter rsa.Decrypter
+	CertDER   []byte
 	// CertChain holds intermediate certificates (leaf's issuer
 	// first) sent after the leaf.
 	CertChain    [][]byte
@@ -144,6 +148,7 @@ func (c *Conn) handshakeLocked() error {
 	} else {
 		c.result, err = handshake.Server(c.layer, &handshake.ServerConfig{
 			Key:        c.cfg.Key,
+			Decrypter:  c.cfg.Decrypter,
 			CertDER:    c.cfg.CertDER,
 			Chain:      c.cfg.CertChain,
 			Rand:       c.cfg.rand(),

@@ -96,6 +96,14 @@ type MAC struct {
 	tls     bool
 	version uint16
 	hm      *hmacx.HMAC
+
+	// Scratch reused across records: header and inner-hash buffers
+	// passed to the digest through an interface would otherwise escape
+	// to the heap on every Compute. A MAC serves one direction of one
+	// connection, so reuse is race-free.
+	hdrBuf   [13]byte
+	innerBuf [maxMACSize]byte
+	macBuf   [maxMACSize]byte
 }
 
 // NewMAC returns a MAC keyed with secret.
@@ -126,21 +134,29 @@ func (m *MAC) Size() int { return m.alg.Size() }
 // Compute returns the MAC for a record with the given 64-bit sequence
 // number, content type and payload.
 func (m *MAC) Compute(seq uint64, contentType byte, payload []byte) []byte {
+	return m.AppendCompute(nil, seq, contentType, payload)
+}
+
+// AppendCompute appends the record MAC to dst and returns the extended
+// slice. The inner hash result stays in a stack buffer, so when dst
+// has capacity the whole computation is allocation-free — the record
+// layer's seal path depends on this.
+func (m *MAC) AppendCompute(dst []byte, seq uint64, contentType byte, payload []byte) []byte {
 	if m.alg == MACNull {
-		return nil
+		return dst
 	}
 	if m.tls {
-		var hdr [13]byte
+		hdr := m.hdrBuf[:13]
 		binary.BigEndian.PutUint64(hdr[0:], seq)
 		hdr[8] = contentType
 		binary.BigEndian.PutUint16(hdr[9:], m.version)
 		binary.BigEndian.PutUint16(hdr[11:], uint16(len(payload)))
 		m.hm.Reset()
-		m.hm.Write(hdr[:])
+		m.hm.Write(hdr)
 		m.hm.Write(payload)
-		return m.hm.Sum(nil)
+		return m.hm.Sum(dst)
 	}
-	var hdr [11]byte
+	hdr := m.hdrBuf[:11]
 	binary.BigEndian.PutUint64(hdr[0:], seq)
 	hdr[8] = contentType
 	binary.BigEndian.PutUint16(hdr[9:], uint16(len(payload)))
@@ -149,20 +165,23 @@ func (m *MAC) Compute(seq uint64, contentType byte, payload []byte) []byte {
 	h.Reset()
 	h.Write(m.secret)
 	h.Write(m.pad1)
-	h.Write(hdr[:])
+	h.Write(hdr)
 	h.Write(payload)
-	inner := h.Sum(nil)
+	inner := h.Sum(m.innerBuf[:0])
 
 	h.Reset()
 	h.Write(m.secret)
 	h.Write(m.pad2)
 	h.Write(inner)
-	return h.Sum(nil)
+	return h.Sum(dst)
 }
+
+// maxMACSize bounds the digest output across supported hashes.
+const maxMACSize = sha1x.Size
 
 // Verify recomputes the MAC and compares in constant time.
 func (m *MAC) Verify(seq uint64, contentType byte, payload, mac []byte) bool {
-	want := m.Compute(seq, contentType, payload)
+	want := m.AppendCompute(m.macBuf[:0], seq, contentType, payload)
 	if len(want) != len(mac) {
 		return false
 	}

@@ -50,6 +50,15 @@ type Registry struct {
 	steps       map[string]*Histogram
 	stepOrder   []string
 
+	// Named engine histograms (ObserveTimer / ObserveValue): open
+	// vocabulary for subsystems like the RSA batch engine, which
+	// emits queue-depth, batch-size, and linger-latency
+	// distributions here.
+	timers     map[string]*Histogram
+	timerOrder []string
+	values     map[string]*ValueHistogram
+	valueOrder []string
+
 	recorder *FlightRecorder
 }
 
@@ -66,6 +75,8 @@ func NewRegistrySize(events int) *Registry {
 		byVersion:   make(map[string]uint64),
 		failReasons: make(map[string]uint64),
 		steps:       make(map[string]*Histogram),
+		timers:      make(map[string]*Histogram),
+		values:      make(map[string]*ValueHistogram),
 		recorder:    NewFlightRecorder(events),
 	}
 }
@@ -158,6 +169,41 @@ func (r *Registry) ObserveStep(name string, d time.Duration) {
 	h.Observe(d)
 }
 
+// ObserveTimer records one latency into the named engine histogram,
+// creating it on first use (e.g. the batch engine's linger window).
+func (r *Registry) ObserveTimer(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.timers[name]
+	if h == nil {
+		h = &Histogram{}
+		r.timers[name] = h
+		r.timerOrder = append(r.timerOrder, name)
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// ObserveValue records one integer measurement into the named value
+// histogram, creating it on first use (e.g. batch sizes and queue
+// depths).
+func (r *Registry) ObserveValue(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.values[name]
+	if h == nil {
+		h = &ValueHistogram{}
+		r.values[name] = h
+		r.valueOrder = append(r.valueOrder, name)
+	}
+	r.mu.Unlock()
+	h.Observe(v)
+}
+
 // RecordIO counts one framed record moving through the record layer.
 // This is the per-record hot path: four atomic adds at most.
 func (r *Registry) RecordIO(written bool, isAlert bool, payloadBytes int) {
@@ -205,6 +251,12 @@ type StepSnapshot struct {
 	Latency HistogramSnapshot `json:"latency"`
 }
 
+// ValueSnapshot is one named value histogram's distribution.
+type ValueSnapshot struct {
+	Name   string                 `json:"name"`
+	Values ValueHistogramSnapshot `json:"values"`
+}
+
 // A Snapshot is a self-consistent-enough copy of every metric for
 // rendering; counters may advance between individual loads but each
 // value is a real point on its own timeline.
@@ -217,6 +269,8 @@ type Snapshot struct {
 	FullLatency    HistogramSnapshot `json:"full_handshake_latency"`
 	ResumedLatency HistogramSnapshot `json:"resumed_handshake_latency"`
 	Steps          []StepSnapshot    `json:"steps,omitempty"`
+	Timers         []StepSnapshot    `json:"timers,omitempty"`
+	Values         []ValueSnapshot   `json:"values,omitempty"`
 	EventsRecorded uint64            `json:"events_recorded"`
 	EventsRetained int               `json:"events_retained"`
 }
@@ -258,11 +312,27 @@ func (r *Registry) Snapshot() Snapshot {
 	for i, name := range order {
 		hists[i] = r.steps[name]
 	}
+	tOrder := append([]string(nil), r.timerOrder...)
+	tHists := make([]*Histogram, len(tOrder))
+	for i, name := range tOrder {
+		tHists[i] = r.timers[name]
+	}
+	vOrder := append([]string(nil), r.valueOrder...)
+	vHists := make([]*ValueHistogram, len(vOrder))
+	for i, name := range vOrder {
+		vHists[i] = r.values[name]
+	}
 	r.mu.Unlock()
 	// Steps keep first-observed order, which is Table 2 order when the
 	// handshake FSM is the only emitter.
 	for i, name := range order {
 		s.Steps = append(s.Steps, StepSnapshot{Name: name, Latency: hists[i].Snapshot()})
+	}
+	for i, name := range tOrder {
+		s.Timers = append(s.Timers, StepSnapshot{Name: name, Latency: tHists[i].Snapshot()})
+	}
+	for i, name := range vOrder {
+		s.Values = append(s.Values, ValueSnapshot{Name: name, Values: vHists[i].Snapshot()})
 	}
 	return s
 }

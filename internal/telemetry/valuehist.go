@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// valueBuckets covers non-negative integer values 0, 1, 2, ≤4, ≤8 …
+// up to ≤2^22, plus one overflow bucket — plenty for the queue
+// depths and batch sizes the engine layers emit.
+const valueBuckets = 25
+
+// valueBucketBound returns the inclusive upper bound of bucket i;
+// the last bucket is unbounded (returned as −1).
+func valueBucketBound(i int) int64 {
+	if i >= valueBuckets-1 {
+		return -1
+	}
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << uint(i-1)
+}
+
+// valueBucketFor maps v to its bucket index (negatives clamp to 0).
+func valueBucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if v&(v-1) == 0 {
+		// Exact powers of two sit on their bucket's upper bound.
+		i--
+	}
+	i++ // shift past the dedicated zero bucket
+	if i >= valueBuckets {
+		i = valueBuckets - 1
+	}
+	return i
+}
+
+// A ValueHistogram is the integer-valued sibling of Histogram:
+// wait-free power-of-two buckets for quantities that are counts, not
+// latencies (queue depths, batch sizes). The zero value is ready to
+// use.
+type ValueHistogram struct {
+	counts [valueBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v int64) {
+	h.counts[valueBucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ValueBucket is one non-empty value-histogram bucket; an UpperBound
+// of −1 marks the unbounded overflow bucket.
+type ValueBucket struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// ValueHistogramSnapshot is a rendering copy of a ValueHistogram;
+// quantiles are upper bounds of the containing bucket.
+type ValueHistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Mean    float64       `json:"mean"`
+	P50     int64         `json:"p50"`
+	P99     int64         `json:"p99"`
+	Max     int64         `json:"max"`
+	Buckets []ValueBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state (same consistency
+// caveats as Histogram.Snapshot).
+func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
+	var s ValueHistogramSnapshot
+	var counts [valueBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		s.Count += counts[i]
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = valueQuantile(&counts, s.Count, 0.50, s.Max)
+	s.P99 = valueQuantile(&counts, s.Count, 0.99, s.Max)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, ValueBucket{UpperBound: valueBucketBound(i), Count: c})
+		}
+	}
+	return s
+}
+
+func valueQuantile(counts *[valueBuckets]uint64, total uint64, q float64, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if b := valueBucketBound(i); b >= 0 {
+				return b
+			}
+			return max
+		}
+	}
+	return max
+}
