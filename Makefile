@@ -23,12 +23,15 @@ race:
 	$(GO) test -race ./...
 
 # CI gate: static checks plus the race detector on the packages that
-# live connections emit through concurrently: telemetry, the record
-# layer, the batch-RSA engine, and the handshake session cache.
+# live connections emit through concurrently: telemetry, the span
+# tracer, the record layer, the batch-RSA engine, the handshake
+# session cache, and perf (whose model-GHz setting is now shared
+# mutable state).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/ssl/... ./internal/record/... \
-		./internal/rsabatch/... ./internal/handshake/...
+	$(GO) test -race ./internal/telemetry/... ./internal/trace/... ./internal/ssl/... \
+		./internal/record/... ./internal/rsabatch/... ./internal/handshake/... \
+		./internal/perf/...
 
 # Run every benchmark with -benchmem and refresh the machine-readable
 # results committed under docs/ (cmd/benchjson parses the go test
@@ -42,6 +45,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/record/ -bench 'BenchmarkRecord(Seal|Open)' \
 		-count 3 -name record-seal-allocs -out docs/BENCH_record.json \
 		-note "Record-layer seal/open with the pooled seal buffer and in-place MAC: steady state is one amortized allocation per sealed record (the sync.Pool interface box), down from a fresh MaxFragment buffer plus MAC scratch per record."
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'BenchmarkHandshakeTrace(Off|Sampled16|Always)' \
+		-count 3 -name trace-overhead -out docs/BENCH_trace.json \
+		-note "Span-tracing overhead on the full-handshake benchmark: Off is the nil-tracer baseline (one pointer test per hook), Sampled16 the documented 1-in-16 production setting, Always the worst case where every handshake records ~40 spans and folds into the live anatomy profiler."
 
 # Regenerate every table and figure of the paper (plus the ablations).
 repro:

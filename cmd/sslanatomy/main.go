@@ -33,9 +33,29 @@ func main() {
 		suiteName  = flag.String("suite", "", "cipher suite for protocol experiments (default DES-CBC3-SHA)")
 		useTLS     = flag.Bool("tls", false, "run protocol experiments over TLS 1.0 instead of SSL 3.0")
 		jsonOut    = flag.Bool("json", false, "emit reports as a JSON array instead of text tables")
+		traceOut   = flag.String("trace", "", "write a single-handshake Chrome trace to this file and exit")
 	)
 	flag.Parse()
-	perf.ModelGHz = *ghz
+	perf.SetModelGHz(*ghz)
+
+	if *traceOut != "" {
+		version := uint16(0)
+		if *useTLS {
+			version = record.VersionTLS10
+		}
+		b, err := captureHandshakeTrace(*seed, *keyBits, *suiteName, version)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d-byte Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			len(b), *traceOut)
+		return
+	}
 
 	if *list {
 		for _, e := range core.All() {

@@ -26,6 +26,7 @@ import (
 	"sslperf/internal/ssl"
 	"sslperf/internal/suite"
 	"sslperf/internal/telemetry"
+	"sslperf/internal/trace"
 	"sslperf/internal/workload"
 	"sslperf/internal/x509lite"
 )
@@ -47,6 +48,12 @@ func main() {
 		rsaWorkers = flag.Int("rsaworkers", 2, "batch RSA worker goroutines")
 		rsaLinger  = flag.Duration("rsalinger", 500*time.Microsecond,
 			"how long a partial RSA batch waits for more handshakes")
+		traceEvery = flag.Int("trace", 0,
+			"span-trace 1 in N connections on /debug/trace and /debug/anatomy (0 = off, 1 = every)")
+		traceRate = flag.Int("tracerate", 0,
+			"cap sampled traces per second (0 = unlimited)")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof under /debug/pprof/ on the telemetry address")
 	)
 	flag.Parse()
 
@@ -55,27 +62,43 @@ func main() {
 		seedVal = uint64(time.Now().UnixNano())
 	}
 
+	var tracer *trace.Tracer
+	if *traceEvery > 0 {
+		tracer = trace.NewTracer(trace.Config{
+			SampleEvery: *traceEvery,
+			MaxPerSec:   *traceRate,
+		})
+	}
+
 	var reg *telemetry.Registry
 	if *telAddr != "" {
 		reg = telemetry.NewRegistrySize(*flightRec)
 		mux := http.NewServeMux()
 		telemetry.Register(mux, reg)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if tracer != nil {
+			trace.Register(mux, tracer)
+		}
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
 			log.Printf("telemetry on http://%s/metrics", *telAddr)
 			if err := http.ListenAndServe(*telAddr, mux); err != nil {
 				log.Printf("telemetry server: %v", err)
 			}
 		}()
+	} else if tracer != nil || *pprofOn {
+		log.Printf("warning: -trace/-pprof need -telemetry to be served; enabling tracing without an endpoint")
 	}
 
 	srv := &server{
 		cache:     handshake.NewSessionCache(4096),
 		telemetry: reg,
+		tracer:    tracer,
 		seed:      seedVal,
 	}
 	if *suiteName != "" {
@@ -112,6 +135,7 @@ func main() {
 			Workers:   *rsaWorkers,
 			Rand:      ssl.NewPRNG(seedVal + 2),
 			Telemetry: reg,
+			Tracer:    tracer,
 		})
 		srv.keys = ks.Keys
 		log.Printf("batch RSA engine: width %d, linger %v, %d workers",
@@ -150,6 +174,7 @@ type server struct {
 	engine    *rsabatch.Engine
 	cache     *handshake.SessionCache
 	telemetry *telemetry.Registry
+	tracer    *trace.Tracer
 	suites    []suite.ID
 	version   uint16
 	seed      uint64
@@ -158,8 +183,11 @@ type server struct {
 
 // configFor builds the per-connection Config. Every connection gets
 // its own PRNG (ssl.PRNG is not safe for concurrent use) and, under
-// batching, the next key of the set round-robin.
-func (s *server) configFor() *ssl.Config {
+// batching, the next key of the set round-robin. The returned
+// ConnTrace is non-nil when the tracer sampled this connection; it is
+// started here, at accept time, so pre-handshake setup is on the
+// trace, and the batch decrypter carries its span refs.
+func (s *server) configFor() (*ssl.Config, *trace.ConnTrace) {
 	id := s.connSeq.Add(1)
 	i := int(id) % len(s.keys)
 	cfg := &ssl.Config{
@@ -171,14 +199,25 @@ func (s *server) configFor() *ssl.Config {
 		Version:      s.version,
 		Telemetry:    s.telemetry,
 	}
+	ct := s.tracer.ConnBegin(id, "server")
 	if s.engine != nil {
-		cfg.Decrypter = s.engine.Decrypter(i)
+		if ct != nil {
+			cfg.Decrypter = s.engine.DecrypterTraced(i, ct.Ref)
+		} else {
+			cfg.Decrypter = s.engine.Decrypter(i)
+		}
 	}
-	return cfg
+	return cfg, ct
 }
 
 func (s *server) serve(tc net.Conn, payload []byte) {
-	conn := ssl.ServerConn(tc, s.configFor())
+	accepted := time.Now()
+	cfg, ct := s.configFor()
+	conn := ssl.ServerConn(tc, cfg)
+	if ct != nil {
+		ct.Event("accept", trace.CatConn, 0, accepted, time.Since(accepted))
+		conn.SetTrace(ct)
+	}
 	defer conn.Close()
 	if err := conn.Handshake(); err != nil {
 		// The telemetry registry (when enabled) has already counted

@@ -164,7 +164,7 @@ func (a *Anatomy) CryptoBreakdown() *perf.Breakdown {
 	b.Add(CategoryOther, 0)
 	for _, s := range a.Steps {
 		for _, c := range s.Crypto {
-			b.Add(categoryOf(c.Name), c.Elapsed)
+			b.Add(CategoryOf(c.Name), c.Elapsed)
 		}
 	}
 	return b
@@ -178,7 +178,11 @@ const (
 	CategoryOther   = "other functions"
 )
 
-func categoryOf(fn string) string {
+// CategoryOf maps a crypto function name (the Fn* constants) onto its
+// Table 3 category. Live consumers — the telemetry renderers and the
+// trace package's anatomy profiler — share this mapping so offline and
+// continuous attributions agree.
+func CategoryOf(fn string) string {
 	switch fn {
 	case FnRSAPrivateDecrypt, FnRSASign, FnDHGenerateKey, FnDHComputeKey:
 		return CategoryPublic

@@ -236,8 +236,8 @@ func TestAnatomyCategoryMapping(t *testing.T) {
 		FnX509:              CategoryOther,
 	}
 	for fn, want := range cases {
-		if got := categoryOf(fn); got != want {
-			t.Errorf("categoryOf(%s) = %s, want %s", fn, got, want)
+		if got := CategoryOf(fn); got != want {
+			t.Errorf("CategoryOf(%s) = %s, want %s", fn, got, want)
 		}
 	}
 }

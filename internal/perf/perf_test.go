@@ -19,16 +19,47 @@ func TestCyclesRoundTrip(t *testing.T) {
 }
 
 func TestCyclesScalesWithModelGHz(t *testing.T) {
-	old := ModelGHz
-	defer func() { ModelGHz = old }()
-	ModelGHz = 1.0
+	old := ModelGHz()
+	defer SetModelGHz(old)
+	SetModelGHz(1.0)
 	if got := Cycles(time.Nanosecond); got != 1.0 {
 		t.Fatalf("Cycles(1ns) at 1GHz = %v, want 1", got)
 	}
-	ModelGHz = 2.0
+	SetModelGHz(2.0)
 	if got := Cycles(time.Nanosecond); got != 2.0 {
 		t.Fatalf("Cycles(1ns) at 2GHz = %v, want 2", got)
 	}
+	// Non-positive values must not take effect: a zero-valued -ghz
+	// flag would otherwise zero every cycle figure.
+	SetModelGHz(0)
+	if got := ModelGHz(); got != 2.0 {
+		t.Fatalf("ModelGHz after SetModelGHz(0) = %v, want 2", got)
+	}
+	SetModelGHz(-1)
+	if got := ModelGHz(); got != 2.0 {
+		t.Fatalf("ModelGHz after SetModelGHz(-1) = %v, want 2", got)
+	}
+}
+
+// TestModelGHzConcurrentAccess exercises the flag-vs-render race the
+// accessor exists to fix; it fails under -race if the frequency ever
+// becomes a plain global again.
+func TestModelGHzConcurrentAccess(t *testing.T) {
+	old := ModelGHz()
+	defer SetModelGHz(old)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			SetModelGHz(1.0 + float64(i%3))
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if c := Cycles(time.Microsecond); c <= 0 {
+			t.Fatalf("Cycles = %v, want > 0", c)
+		}
+	}
+	<-done
 }
 
 func TestTimerAccumulates(t *testing.T) {

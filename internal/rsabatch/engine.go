@@ -1,6 +1,7 @@
 package rsabatch
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"sslperf/internal/rsa"
 	"sslperf/internal/telemetry"
+	"sslperf/internal/trace"
 )
 
 // Telemetry metric names the engine emits.
@@ -51,6 +53,12 @@ type Config struct {
 	// Telemetry, when non-nil, receives the engine's batch-size,
 	// queue-depth, and linger-latency histograms.
 	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, receives one engine span per executed
+	// batch, linked to the handshake spans the batch served (requests
+	// submitted through DecrypterTraced carry the link), so the
+	// cross-connection amortization is visible in /debug/trace.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) withDefaults(width int) Config {
@@ -96,6 +104,7 @@ type request struct {
 	idx  int
 	ct   []byte
 	rnd  io.Reader // caller's randomness, used only on the direct path
+	link trace.Ref // submitting handshake's span, for batch-span links
 	done chan result
 }
 
@@ -305,6 +314,19 @@ func (e *Engine) runBatch(batch []*request) {
 		req.done <- result{pt: pt, err: err}
 		return
 	}
+	if tr := e.cfg.Tracer; tr != nil {
+		start := time.Now()
+		defer func() {
+			var links []trace.Ref
+			for _, req := range batch {
+				if req.link != (trace.Ref{}) {
+					links = append(links, req.link)
+				}
+			}
+			tr.EngineSpan("rsa_batch", fmt.Sprintf("size=%d", len(batch)),
+				start, time.Since(start), links)
+		}()
+	}
 	idxs := make([]int, len(batch))
 	cts := make([][]byte, len(batch))
 	for i, req := range batch {
@@ -348,8 +370,13 @@ func (e *Engine) randFor(req *request) io.Reader {
 // decrypt submits one request and waits for its result, falling back
 // to direct decryption when the queue stays full past SubmitTimeout
 // or the engine is shut down.
-func (e *Engine) decrypt(idx int, rnd io.Reader, ct []byte) ([]byte, error) {
+func (e *Engine) decrypt(idx int, rnd io.Reader, ct []byte, ref func() trace.Ref) ([]byte, error) {
 	req := &request{idx: idx, ct: ct, rnd: rnd, done: make(chan result, 1)}
+	if ref != nil {
+		// Captured on the submitting (handshake) goroutine, so the ref
+		// names the step span that is waiting on this decryption.
+		req.link = ref()
+	}
 	e.tel.ObserveValue(MetricQueueDepth, int64(len(e.subq)))
 	e.mu.RLock()
 	if e.closed {
@@ -383,6 +410,7 @@ type handle struct {
 	e   *Engine
 	idx int // −1: key outside the set, pure passthrough
 	key *rsa.PrivateKey
+	ref func() trace.Ref // current submitter span, for batch-span links
 }
 
 // DecryptPKCS1 implements rsa.Decrypter. In-set keys go through the
@@ -392,12 +420,20 @@ func (h *handle) DecryptPKCS1(rnd io.Reader, ct []byte) ([]byte, error) {
 	if h.idx < 0 {
 		return h.key.DecryptPKCS1(rnd, ct)
 	}
-	return h.e.decrypt(h.idx, rnd, ct)
+	return h.e.decrypt(h.idx, rnd, ct, h.ref)
 }
 
 // Decrypter returns the batching rsa.Decrypter for set key i.
 func (e *Engine) Decrypter(i int) rsa.Decrypter {
 	return &handle{e: e, idx: i, key: e.ks.Keys[i]}
+}
+
+// DecrypterTraced is Decrypter plus span linkage: ref is called on the
+// submitting goroutine at enqueue time and its result is attached to
+// the batch span that ends up serving the request. Use one handle per
+// connection, with ref closing over that connection's trace.
+func (e *Engine) DecrypterTraced(i int, ref func() trace.Ref) rsa.Decrypter {
+	return &handle{e: e, idx: i, key: e.ks.Keys[i], ref: ref}
 }
 
 // DecrypterFor wraps key: a member of the engine's set decrypts

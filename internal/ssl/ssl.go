@@ -20,6 +20,7 @@ import (
 	"sslperf/internal/rsa"
 	"sslperf/internal/suite"
 	"sslperf/internal/telemetry"
+	"sslperf/internal/trace"
 	"sslperf/internal/x509lite"
 )
 
@@ -69,6 +70,14 @@ type Config struct {
 	// event traces. When nil — the default — connections emit nothing
 	// and the hot path pays only nil tests.
 	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, samples connections for per-connection
+	// span tracing (internal/trace): handshake steps, crypto calls,
+	// record-layer work, and application I/O become spans exported at
+	// /debug/trace and folded into the live anatomy profiler. An
+	// unsampled connection pays one sampling decision; a nil Tracer
+	// pays one pointer test.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) rand() io.Reader {
@@ -94,6 +103,10 @@ type Conn struct {
 	anatomy       *handshake.Anatomy
 	telemetryID   uint64 // flight-recorder connection ID (0 = none)
 
+	ct           *trace.ConnTrace // non-nil only on sampled connections
+	traceHS      uint64           // the trace's top-level handshake span
+	traceOutcome string           // outcome Finish reports at Close
+
 	readBuf []byte
 	eof     bool
 	closed  bool
@@ -112,6 +125,20 @@ func ServerConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
 // SetAnatomy installs a recorder that will capture the server-side
 // handshake anatomy (Table 2). Must be called before Handshake.
 func (c *Conn) SetAnatomy(a *handshake.Anatomy) { c.anatomy = a }
+
+// SetTrace attaches a pre-started connection trace (e.g. one begun at
+// TCP accept so the accept span is on it). Must be called before
+// Handshake; a nil ConnTrace is ignored. Without SetTrace, a
+// Config.Tracer samples the connection when the handshake starts.
+func (c *Conn) SetTrace(ct *trace.ConnTrace) {
+	if ct != nil {
+		c.ct = ct
+	}
+}
+
+// Trace returns the connection's sampled trace, nil when the
+// connection is not sampled.
+func (c *Conn) Trace() *trace.ConnTrace { return c.ct }
 
 // Handshake runs the handshake if it has not run yet.
 func (c *Conn) Handshake() error {
@@ -132,6 +159,9 @@ func (c *Conn) handshakeLocked() error {
 	if tel != nil {
 		c.telemetryStart(tel)
 		hsStart = time.Now()
+	}
+	if c.ct != nil || c.cfg.Tracer != nil {
+		c.traceStart()
 	}
 	var err error
 	if c.isClient {
@@ -160,6 +190,9 @@ func (c *Conn) handshakeLocked() error {
 	}
 	if tel != nil {
 		c.telemetryFinish(tel, time.Since(hsStart), err)
+	}
+	if c.ct != nil {
+		c.traceFinish(err)
 	}
 	if err != nil {
 		return err
@@ -212,8 +245,15 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.closed {
 		return 0, errors.New("ssl: connection closed")
 	}
+	var ioStart time.Time
+	if c.ct != nil {
+		ioStart = time.Now()
+	}
 	if err := c.layer.WriteRecord(record.TypeApplicationData, p); err != nil {
 		return 0, err
+	}
+	if c.ct != nil {
+		c.ct.Event("write", trace.CatIO, c.traceHS, ioStart, time.Since(ioStart))
 	}
 	return len(p), nil
 }
@@ -229,7 +269,14 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.eof {
 			return 0, io.EOF
 		}
+		var ioStart time.Time
+		if c.ct != nil {
+			ioStart = time.Now()
+		}
 		typ, payload, err := c.layer.ReadRecord()
+		if c.ct != nil && err == nil {
+			c.ct.Event("read", trace.CatIO, c.traceHS, ioStart, time.Since(ioStart))
+		}
 		if err != nil {
 			if ae, ok := err.(*record.AlertError); ok &&
 				ae.Description == record.AlertCloseNotify {
@@ -266,6 +313,13 @@ func (c *Conn) Close() error {
 	}
 	if c.telemetryID != 0 {
 		c.cfg.Telemetry.Event(c.telemetryID, telemetry.EventClose, "", "", 0)
+	}
+	if c.ct != nil {
+		outcome := c.traceOutcome
+		if outcome == "" {
+			outcome = "closed_before_handshake"
+		}
+		c.ct.Finish(outcome)
 	}
 	return c.transport.Close()
 }

@@ -86,3 +86,72 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 		t.Fatalf("bad conn id status = %d", w.Code)
 	}
 }
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.HandshakeDone("RC4-MD5", 0x0300, false, time.Millisecond)
+	h := Handler(r)
+
+	// Default and explicit-garbage formats are both JSON.
+	for _, url := range []string{"/metrics", "/metrics?format=", "/metrics?format=xml"} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content-type = %q, want application/json", url, ct)
+		}
+		if !json.Valid(w.Body.Bytes()) {
+			t.Errorf("%s body is not JSON", url)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics?format=text", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text content-type = %q", ct)
+	}
+	if json.Valid(w.Body.Bytes()) {
+		t.Fatal("format=text returned JSON")
+	}
+}
+
+func TestFlightRecorderEmptyAndLastEdges(t *testing.T) {
+	r := NewRegistry()
+	h := Handler(r)
+
+	// Empty recorder: a JSON array, not null.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/flightrecorder", nil))
+	if body := strings.TrimSpace(w.Body.String()); body != "[]" {
+		t.Fatalf("empty recorder body = %q, want []", body)
+	}
+
+	c := r.ConnOpen()
+	r.Event(c, EventHandshakeStart, "", "server", 0)
+
+	// last larger than the event count returns everything.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/flightrecorder?last=999", nil))
+	var all []Event
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("last=999 returned %d events, want 1", len(all))
+	}
+
+	// last=0 truncates to nothing, still a JSON array.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/flightrecorder?last=0", nil))
+	if body := strings.TrimSpace(w.Body.String()); body != "[]" {
+		t.Fatalf("last=0 body = %q, want []", body)
+	}
+
+	// Malformed last values are rejected.
+	for _, url := range []string{"/debug/flightrecorder?last=-1", "/debug/flightrecorder?last=zzz"} {
+		w = httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != 400 {
+			t.Errorf("%s status = %d, want 400", url, w.Code)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestValueHistogramEmpty(t *testing.T) {
+	var h ValueHistogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty quantiles = p50 %d, p99 %d", s.P50, s.P99)
+	}
+	if s.Buckets != nil {
+		t.Fatalf("empty histogram has buckets: %+v", s.Buckets)
+	}
+}
+
+func TestValueHistogramSingleSample(t *testing.T) {
+	var h ValueHistogram
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 5 || s.Max != 5 || s.Mean != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// One sample defines every quantile: 5 ∈ (4, 8] → bound 8.
+	if s.P50 != 8 || s.P99 != 8 {
+		t.Fatalf("quantiles = p50 %d, p99 %d, want 8/8", s.P50, s.P99)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != 8 || s.Buckets[0].Count != 1 {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestValueHistogramOverflowBucket(t *testing.T) {
+	var h ValueHistogram
+	const huge = int64(1) << 40 // far past the last bounded bucket
+	h.Observe(huge)
+	s := h.Snapshot()
+	// The overflow bucket has no bound, so quantiles report the max.
+	if s.P50 != huge || s.P99 != huge || s.Max != huge {
+		t.Fatalf("overflow snapshot = %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != -1 {
+		t.Fatalf("overflow bucket = %+v", s.Buckets)
+	}
+}
+
+func TestValueHistogramEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int64 // bucket upper bound
+	}{
+		{-3, 0}, // negatives clamp into the zero bucket
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{4, 4}, // powers of two sit on their bound
+		{5, 8},
+		{1 << 22, 1 << 22}, // last bounded bucket
+	}
+	for _, c := range cases {
+		var h ValueHistogram
+		h.Observe(c.v)
+		if got := valueBucketBound(valueBucketFor(c.v)); got != c.want {
+			t.Errorf("bucket bound for %d = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueHistogramSpreadQuantiles(t *testing.T) {
+	var h ValueHistogram
+	for i := 0; i < 98; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	h.Observe(2000)
+	s := h.Snapshot()
+	if s.P50 != 1 {
+		t.Fatalf("p50 = %d, want 1", s.P50)
+	}
+	if s.P99 < 1000 {
+		t.Fatalf("p99 = %d, want in the slow tail", s.P99)
+	}
+	if s.Max != 2000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+}
+
+func TestValueHistogramConcurrent(t *testing.T) {
+	var h ValueHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	if s.Max != 7999 {
+		t.Fatalf("max = %d, want 7999", s.Max)
+	}
+}

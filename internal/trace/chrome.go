@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event (the "Trace Event Format"
+// consumed by chrome://tracing and Perfetto). Timestamps and durations
+// are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON Object Format wrapper.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Process IDs in the exported trace: each connection is a thread of
+// the "ssl connections" process; engine spans (RSA batches) run in
+// their own process so cross-connection work is visually distinct.
+const (
+	chromePIDConns  = 1
+	chromePIDEngine = 2
+)
+
+// ChromeTrace renders completed connection traces and engine spans as
+// Chrome trace-event JSON. Engine spans carry args.links naming the
+// handshake spans they served, plus flow events ("s"/"f" pairs) so
+// Perfetto draws arrows from each linked handshake span to the batch
+// that resolved it.
+func ChromeTrace(traces []*TraceData, engine []*Span) ([]byte, error) {
+	var base time.Time
+	for _, td := range traces {
+		if base.IsZero() || (!td.Start.IsZero() && td.Start.Before(base)) {
+			base = td.Start
+		}
+	}
+	for _, sp := range engine {
+		if base.IsZero() || (!sp.Start.IsZero() && sp.Start.Before(base)) {
+			base = sp.Start
+		}
+	}
+	us := func(t time.Time) float64 {
+		return float64(t.Sub(base).Nanoseconds()) / 1e3
+	}
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromePIDConns,
+			Args: map[string]any{"name": "ssl connections"}},
+		{Name: "process_name", Ph: "M", PID: chromePIDEngine,
+			Args: map[string]any{"name": "crypto engines"}},
+		{Name: "thread_name", Ph: "M", PID: chromePIDEngine, TID: 1,
+			Args: map[string]any{"name": "rsabatch"}},
+	}}
+
+	// spanSite locates a span for flow-event sources.
+	type spanSite struct {
+		tid uint64
+		end time.Time
+	}
+	sites := map[uint64]spanSite{}
+
+	for _, td := range traces {
+		tid := td.Conn
+		if tid == 0 {
+			tid = td.ID
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePIDConns, TID: tid,
+			Args: map[string]any{
+				"name": fmt.Sprintf("conn %d (trace %d, %s, %s)", td.Conn, td.ID, td.Role, td.Outcome),
+			},
+		})
+		for i := range td.Spans {
+			sp := &td.Spans[i]
+			ev := chromeEvent{
+				Name: sp.Name, Cat: sp.Category, Ph: "X",
+				TS: us(sp.Start), Dur: float64(sp.Duration.Nanoseconds()) / 1e3,
+				PID: chromePIDConns, TID: tid,
+				Args: map[string]any{"trace": td.ID, "span": sp.ID},
+			}
+			if sp.Detail != "" {
+				ev.Args["detail"] = sp.Detail
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+			sites[sp.ID] = spanSite{tid: tid, end: sp.Start.Add(sp.Duration)}
+		}
+	}
+
+	for _, sp := range engine {
+		links := make([]map[string]uint64, 0, len(sp.Links))
+		for _, l := range sp.Links {
+			links = append(links, map[string]uint64{"trace": l.Trace, "span": l.Span})
+		}
+		ev := chromeEvent{
+			Name: sp.Name, Cat: sp.Category, Ph: "X",
+			TS: us(sp.Start), Dur: float64(sp.Duration.Nanoseconds()) / 1e3,
+			PID: chromePIDEngine, TID: 1,
+			Args: map[string]any{"span": sp.ID},
+		}
+		if sp.Detail != "" {
+			ev.Args["detail"] = sp.Detail
+		}
+		if len(links) > 0 {
+			ev.Args["links"] = links
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+
+		// Flow arrows: start at each linked handshake span (when it is
+		// in the export window), finish at this engine span.
+		for _, l := range sp.Links {
+			site, ok := sites[l.Span]
+			if !ok {
+				continue
+			}
+			doc.TraceEvents = append(doc.TraceEvents,
+				chromeEvent{Name: "rsa_batch", Cat: "flow", Ph: "s", ID: l.Span,
+					TS: us(site.end), PID: chromePIDConns, TID: site.tid},
+				chromeEvent{Name: "rsa_batch", Cat: "flow", Ph: "f", BP: "e", ID: l.Span,
+					TS: us(sp.Start), PID: chromePIDEngine, TID: 1})
+		}
+	}
+	return json.MarshalIndent(&doc, "", " ")
+}
+
+// Chrome renders the tracer's current retained traces and engine
+// spans (nil tracer: an empty, still-loadable document).
+func (t *Tracer) Chrome() ([]byte, error) {
+	return ChromeTrace(t.Traces(), t.EngineSpans())
+}

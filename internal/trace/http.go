@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Register mounts the tracing endpoints on mux:
+//
+//	/debug/trace    Chrome trace-event JSON of the retained sampled
+//	                traces plus engine spans — load it in
+//	                chrome://tracing or https://ui.perfetto.dev
+//	                (?format=raw for the raw span structures)
+//	/debug/anatomy  the continuous Tables 2/3 folded from sampled
+//	                traffic: per-step cycles, crypto attribution, and
+//	                p50/p95/p99 step latency
+//	                (JSON; ?format=text for aligned tables)
+func Register(mux *http.ServeMux, t *Tracer) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "raw" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			enc.Encode(struct {
+				Stats  Stats        `json:"stats"`
+				Traces []*TraceData `json:"traces"`
+				Engine []*Span      `json:"engine_spans"`
+			}{t.Stats(), t.Traces(), t.EngineSpans()})
+			return
+		}
+		b, err := t.Chrome()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/anatomy", func(w http.ResponseWriter, req *http.Request) {
+		snap := t.Profiler().Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(snap.Text()))
+			return
+		}
+		b, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+}
+
+// Handler returns a mux serving only the tracing endpoints.
+func Handler(t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, t)
+	return mux
+}

@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/perf"
+)
+
+// latBuckets covers step latencies from <1µs to ~8.4s in power-of-two
+// microsecond buckets plus one overflow bucket — the same geometry as
+// telemetry's histograms, but plain counters: the profiler folds under
+// one short mutex, so atomics would buy nothing.
+const latBuckets = 25
+
+func latBucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us))
+	if us&(us-1) == 0 {
+		i--
+	}
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	return i
+}
+
+func latBucketBound(i int) time.Duration {
+	if i >= latBuckets-1 {
+		return 0 // unbounded
+	}
+	return time.Microsecond << uint(i)
+}
+
+// latHist is a single-owner latency histogram with quantile readout.
+type latHist struct {
+	counts [latBuckets]uint64
+	count  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+func (h *latHist) observe(d time.Duration) {
+	h.counts[latBucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile reports q as the upper bound of the containing bucket; the
+// overflow bucket reports the observed max.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if b := latBucketBound(i); b != 0 {
+				return b
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// stepStat accumulates one handshake step across sampled traces.
+type stepStat struct {
+	hist latHist
+}
+
+// cryptoStat accumulates one crypto function across sampled traces.
+type cryptoStat struct {
+	count uint64
+	total time.Duration
+}
+
+// A Profiler folds sampled traces online into live paper-equivalents:
+// per-step cycle shares and latency quantiles (Table 2) and crypto
+// attribution by function and category (Table 3). Folding happens at
+// trace completion, so a snapshot is O(steps), never O(traces).
+type Profiler struct {
+	mu         sync.Mutex
+	traces     uint64
+	handshakes uint64 // traces that carried step spans
+	stepOrder  []string
+	steps      map[string]*stepStat
+	fnOrder    []string
+	fns        map[string]*cryptoStat
+	stepTotal  time.Duration // summed step time across folded traces
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		steps: make(map[string]*stepStat),
+		fns:   make(map[string]*cryptoStat),
+	}
+}
+
+// fold merges one completed trace. Step spans feed the per-step
+// histograms; crypto and record spans feed the function attribution.
+func (p *Profiler) fold(td *TraceData) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.traces++
+	sawStep := false
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		switch sp.Category {
+		case CatStep:
+			sawStep = true
+			st := p.steps[sp.Name]
+			if st == nil {
+				st = &stepStat{}
+				p.steps[sp.Name] = st
+				p.stepOrder = append(p.stepOrder, sp.Name)
+			}
+			st.hist.observe(sp.Duration)
+			p.stepTotal += sp.Duration
+		case CatCrypto:
+			cs := p.fns[sp.Name]
+			if cs == nil {
+				cs = &cryptoStat{}
+				p.fns[sp.Name] = cs
+				p.fnOrder = append(p.fnOrder, sp.Name)
+			}
+			cs.count++
+			cs.total += sp.Duration
+		}
+	}
+	if sawStep {
+		p.handshakes++
+	}
+}
+
+// AnatomyStep is one live Table 2 row.
+type AnatomyStep struct {
+	Name     string  `json:"name"`
+	Count    uint64  `json:"count"`
+	MeanKcyc float64 `json:"mean_kcycles"`
+	P50Kcyc  float64 `json:"p50_kcycles"`
+	P95Kcyc  float64 `json:"p95_kcycles"`
+	P99Kcyc  float64 `json:"p99_kcycles"`
+	MaxKcyc  float64 `json:"max_kcycles"`
+	SharePct float64 `json:"share_pct"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// AnatomyCrypto is one live Table 3 attribution row.
+type AnatomyCrypto struct {
+	Name     string  `json:"name"`
+	Category string  `json:"category"`
+	Count    uint64  `json:"count"`
+	MeanKcyc float64 `json:"mean_kcycles"`
+	SharePct float64 `json:"share_pct"` // share of total step time
+}
+
+// AnatomyCategory is one Table 3 category summary row.
+type AnatomyCategory struct {
+	Name     string  `json:"name"`
+	Kcyc     float64 `json:"kcycles_per_handshake"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// An AnatomySnapshot is the profiler's current state: the continuous
+// Tables 2 and 3, derived from sampled production traffic.
+type AnatomySnapshot struct {
+	At         time.Time         `json:"at"`
+	Traces     uint64            `json:"traces"`
+	Handshakes uint64            `json:"handshakes"`
+	Steps      []AnatomyStep     `json:"steps,omitempty"`
+	Crypto     []AnatomyCrypto   `json:"crypto,omitempty"`
+	Categories []AnatomyCategory `json:"categories,omitempty"`
+	// CryptoSharePct is total crypto time as a share of total step
+	// time — the paper's "total crypto operations 95.0%" row.
+	CryptoSharePct float64 `json:"crypto_share_pct"`
+}
+
+func kcyc(d time.Duration) float64 { return perf.Cycles(d) / 1000 }
+
+// Snapshot renders the profiler's accumulated state.
+func (p *Profiler) Snapshot() AnatomySnapshot {
+	if p == nil {
+		return AnatomySnapshot{At: time.Now()}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := AnatomySnapshot{
+		At:         time.Now(),
+		Traces:     p.traces,
+		Handshakes: p.handshakes,
+	}
+	for _, name := range p.stepOrder {
+		st := p.steps[name]
+		h := &st.hist
+		mean := time.Duration(0)
+		if h.count > 0 {
+			mean = h.sum / time.Duration(h.count)
+		}
+		share := 0.0
+		if p.stepTotal > 0 {
+			share = 100 * float64(h.sum) / float64(p.stepTotal)
+		}
+		p50, p95, p99 := h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)
+		s.Steps = append(s.Steps, AnatomyStep{
+			Name: name, Count: h.count,
+			MeanKcyc: kcyc(mean),
+			P50Kcyc:  kcyc(p50), P95Kcyc: kcyc(p95), P99Kcyc: kcyc(p99),
+			MaxKcyc: kcyc(h.max), SharePct: share,
+			P50: p50, P95: p95, P99: p99,
+		})
+	}
+	cats := map[string]time.Duration{}
+	var catOrder []string
+	var cryptoTotal time.Duration
+	for _, name := range p.fnOrder {
+		cs := p.fns[name]
+		mean := time.Duration(0)
+		if p.handshakes > 0 {
+			mean = cs.total / time.Duration(p.handshakes)
+		}
+		share := 0.0
+		if p.stepTotal > 0 {
+			share = 100 * float64(cs.total) / float64(p.stepTotal)
+		}
+		cat := handshake.CategoryOf(name)
+		if _, ok := cats[cat]; !ok {
+			catOrder = append(catOrder, cat)
+		}
+		cats[cat] += cs.total
+		cryptoTotal += cs.total
+		s.Crypto = append(s.Crypto, AnatomyCrypto{
+			Name: name, Category: cat, Count: cs.count,
+			MeanKcyc: kcyc(mean), SharePct: share,
+		})
+	}
+	for _, cat := range catOrder {
+		perHS := time.Duration(0)
+		if p.handshakes > 0 {
+			perHS = cats[cat] / time.Duration(p.handshakes)
+		}
+		share := 0.0
+		if p.stepTotal > 0 {
+			share = 100 * float64(cats[cat]) / float64(p.stepTotal)
+		}
+		s.Categories = append(s.Categories, AnatomyCategory{
+			Name: cat, Kcyc: kcyc(perHS), SharePct: share,
+		})
+	}
+	if p.stepTotal > 0 {
+		s.CryptoSharePct = 100 * float64(cryptoTotal) / float64(p.stepTotal)
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s AnatomySnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as the live Tables 2 and 3.
+func (s AnatomySnapshot) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "live anatomy (%d sampled traces, %d handshakes, model %.2f GHz)\n\n",
+		s.Traces, s.Handshakes, perf.ModelGHz())
+
+	steps := perf.NewTable("handshake steps (continuous Table 2, kcycles)",
+		"step", "n", "mean", "p50", "p95", "p99", "max", "share")
+	for _, st := range s.Steps {
+		steps.AddRow(st.Name, fmt.Sprint(st.Count),
+			fmt.Sprintf("%.1f", st.MeanKcyc),
+			fmt.Sprintf("%.1f", st.P50Kcyc),
+			fmt.Sprintf("%.1f", st.P95Kcyc),
+			fmt.Sprintf("%.1f", st.P99Kcyc),
+			fmt.Sprintf("%.1f", st.MaxKcyc),
+			fmt.Sprintf("%.2f%%", st.SharePct))
+	}
+	sb.WriteString(steps.String())
+
+	if len(s.Crypto) > 0 {
+		sb.WriteByte('\n')
+		fns := perf.NewTable("crypto attribution (continuous Table 3)",
+			"function", "category", "n", "kcycles/hs", "share")
+		for _, c := range s.Crypto {
+			fns.AddRow(c.Name, c.Category, fmt.Sprint(c.Count),
+				fmt.Sprintf("%.1f", c.MeanKcyc),
+				fmt.Sprintf("%.2f%%", c.SharePct))
+		}
+		sb.WriteString(fns.String())
+	}
+
+	if len(s.Categories) > 0 {
+		sb.WriteByte('\n')
+		cats := perf.NewTable("crypto categories",
+			"category", "kcycles/hs", "share")
+		for _, c := range s.Categories {
+			cats.AddRow(c.Name, fmt.Sprintf("%.1f", c.Kcyc),
+				fmt.Sprintf("%.2f%%", c.SharePct))
+		}
+		cats.AddRow("total crypto operations", "", fmt.Sprintf("%.2f%%", s.CryptoSharePct))
+		sb.WriteString(cats.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2}, // bucket i holds (2^(i-1), 2^i] µs
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},      // 1000µs ∈ (512, 1024]
+		{time.Second, 20},           // 1e6µs ∈ (2^19, 2^20]
+		{time.Hour, latBuckets - 1}, // overflow clamps
+	}
+	for _, c := range cases {
+		if got := latBucketFor(c.d); got != c.want {
+			t.Errorf("latBucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.observe(10 * time.Microsecond)
+	// Single sample: every quantile is its bucket's upper bound (16µs).
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.quantile(q); got != 16*time.Microsecond {
+			t.Fatalf("single-sample quantile(%v) = %v, want 16µs", q, got)
+		}
+	}
+	// Overflow bucket reports the observed max, not a bound.
+	var o latHist
+	o.observe(2 * time.Hour)
+	if got := o.quantile(0.5); got != 2*time.Hour {
+		t.Fatalf("overflow quantile = %v, want the max", got)
+	}
+	// Spread: 90 fast + 10 slow → p50 fast, p99 slow.
+	var s latHist
+	for i := 0; i < 90; i++ {
+		s.observe(5 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.observe(5 * time.Millisecond)
+	}
+	if got := s.quantile(0.50); got != 8*time.Microsecond {
+		t.Fatalf("p50 = %v, want 8µs bucket bound", got)
+	}
+	if got := s.quantile(0.99); got < time.Millisecond {
+		t.Fatalf("p99 = %v, want in the slow band", got)
+	}
+}
+
+func foldTestTrace(p *Profiler, stepDur, rsaDur time.Duration) {
+	p.fold(&TraceData{
+		ID: 1, Role: "server", Outcome: "ok",
+		Spans: []Span{
+			{ID: 1, Name: "handshake", Category: CatConn, Duration: stepDur + time.Millisecond},
+			{ID: 2, Name: "get_client_kx", Category: CatStep, Duration: stepDur},
+			{ID: 3, Name: "rsa_private_decryption", Category: CatCrypto, Parent: 2, Duration: rsaDur},
+			{ID: 4, Name: "write", Category: CatIO, Duration: time.Millisecond},
+		},
+	})
+}
+
+func TestProfilerSnapshot(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 4; i++ {
+		foldTestTrace(p, 10*time.Millisecond, 8*time.Millisecond)
+	}
+	snap := p.Snapshot()
+	if snap.Traces != 4 || snap.Handshakes != 4 {
+		t.Fatalf("traces/handshakes = %d/%d", snap.Traces, snap.Handshakes)
+	}
+	if len(snap.Steps) != 1 {
+		t.Fatalf("steps = %+v", snap.Steps)
+	}
+	st := snap.Steps[0]
+	if st.Name != "get_client_kx" || st.Count != 4 {
+		t.Fatalf("step row = %+v", st)
+	}
+	// One step is 100% of step time; conn and io spans don't count.
+	if st.SharePct < 99.9 || st.SharePct > 100.1 {
+		t.Fatalf("share = %v, want 100", st.SharePct)
+	}
+	if st.MeanKcyc <= 0 || st.P95 < st.P50 {
+		t.Fatalf("step stats malformed: %+v", st)
+	}
+	if len(snap.Crypto) != 1 || snap.Crypto[0].Name != "rsa_private_decryption" {
+		t.Fatalf("crypto rows = %+v", snap.Crypto)
+	}
+	// Categorized by handshake.CategoryOf, same as the offline Table 3.
+	if snap.Crypto[0].Category != "public key encryption" {
+		t.Fatalf("rsa_private_decryption category = %q", snap.Crypto[0].Category)
+	}
+	// 8ms of 10ms step time = 80% crypto share.
+	if snap.CryptoSharePct < 79 || snap.CryptoSharePct > 81 {
+		t.Fatalf("crypto share = %v, want ~80", snap.CryptoSharePct)
+	}
+	if len(snap.Categories) != 1 || snap.Categories[0].Name != "public key encryption" {
+		t.Fatalf("categories = %+v", snap.Categories)
+	}
+}
+
+func TestEmptySnapshotRenders(t *testing.T) {
+	p := NewProfiler()
+	snap := p.Snapshot()
+	if snap.Traces != 0 || len(snap.Steps) != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	if txt := snap.Text(); !strings.Contains(txt, "0 sampled traces") {
+		t.Fatalf("empty text rendering:\n%s", txt)
+	}
+	b, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AnatomySnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotTextTables(t *testing.T) {
+	p := NewProfiler()
+	foldTestTrace(p, 10*time.Millisecond, 8*time.Millisecond)
+	txt := p.Snapshot().Text()
+	for _, want := range []string{
+		"continuous Table 2", "get_client_kx",
+		"continuous Table 3", "rsa_private_decryption", "public key encryption",
+		"total crypto operations",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q:\n%s", want, txt)
+		}
+	}
+}
