@@ -2,8 +2,9 @@
 # (ISPASS 2005). Everything is stdlib-only Go; no network needed.
 
 GO ?= go
+HISTDIR ?= bench_history
 
-.PHONY: all build vet test race check bench repro results examples clean
+.PHONY: all build vet test race check loadsmoke checkdrift bench repro results examples clean
 
 all: build vet test
 
@@ -25,19 +26,39 @@ race:
 # CI gate: static checks plus the race detector on the packages that
 # live connections emit through concurrently: telemetry, the span
 # tracer, the record layer, the batch-RSA engine, the handshake
-# session cache, and perf (whose model-GHz setting is now shared
-# mutable state).
+# session cache, perf (whose model-GHz setting is now shared mutable
+# state), and the new load generator + drift engine — then a real
+# end-to-end smoke through sslload's in-process server.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry/... ./internal/trace/... ./internal/ssl/... \
 		./internal/record/... ./internal/rsabatch/... ./internal/handshake/... \
-		./internal/perf/...
+		./internal/perf/... ./internal/loadgen/... ./internal/baseline/...
+	$(MAKE) loadsmoke
+
+# End-to-end smoke: sslload drives an in-process sslserver open-loop
+# for 5s and gates its own report through the load-latency shape
+# checks (non-zero exit on failures or shape drift).
+loadsmoke:
+	$(GO) run ./cmd/sslload -selftest -rate 200 -duration 5s -warmup 1s -resume 0.3 -seed 1
+
+# Drift gate: re-validate every committed docs/BENCH_*.json against
+# the paper's expectation shapes and, where docs/bench_history/ holds
+# archived runs, against the most recent archive.
+checkdrift:
+	$(GO) run ./cmd/benchjson -checkdrift docs
 
 # Run every benchmark with -benchmem and refresh the machine-readable
 # results committed under docs/ (cmd/benchjson parses the go test
 # output, including custom metrics like decrypts/s, and derives the
-# /batch=N speedup curve).
+# /batch=N speedup curve). Before refreshing, the current committed
+# reports are archived into docs/bench_history/ with a timestamp, so
+# `make checkdrift` can compare the new numbers against the trend.
 bench:
+	mkdir -p docs/$(HISTDIR)
+	for f in docs/BENCH_*.json; do \
+		cp $$f docs/$(HISTDIR)/$$(basename $$f .json)-$$(date +%Y%m%d%H%M%S).json; \
+	done
 	$(GO) test -bench=. -benchmem -run=NONE ./...
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/rsabatch/ -bench BenchmarkBatchDecrypt \
 		-count 3 -name rsa-batch-amortization -out docs/BENCH_rsa_batch.json \

@@ -7,6 +7,19 @@
 // allocs/op, and custom ReportMetric units such as decrypts/s — and
 // benchmarks that sweep a `/batch=N` parameter get a derived speedup
 // column relative to their batch=1 point.
+//
+// Beyond producing reports, benchjson is also the drift gate:
+//
+//	benchjson -pkg ./internal/rsabatch/ -baseline docs/BENCH_rsa_batch.json
+//
+// compares the fresh run against a committed baseline and exits
+// non-zero when any metric regresses beyond tolerance, and
+//
+//	benchjson -checkdrift docs
+//
+// re-validates every committed report against the paper's expectation
+// shapes (and, when docs/bench_history/ has archived runs, against
+// the most recent archive) without running any benchmarks.
 package main
 
 import (
@@ -15,42 +28,46 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"sslperf/internal/baseline"
 )
-
-type benchResult struct {
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-	Speedup    float64            `json:"speedup,omitempty"`
-}
-
-type report struct {
-	Bench   string                  `json:"bench"`
-	Date    string                  `json:"date"`
-	Machine string                  `json:"machine"`
-	Command string                  `json:"command"`
-	Note    string                  `json:"note,omitempty"`
-	Results map[string]*benchResult `json:"results"`
-}
 
 func main() {
 	var (
-		pkg   = flag.String("pkg", "", "package to benchmark (e.g. ./internal/rsabatch/)")
-		bench = flag.String("bench", ".", "benchmark regex passed to -bench")
-		name  = flag.String("name", "", "value for the \"bench\" field (default: the regex)")
-		out   = flag.String("out", "", "output file (default: stdout)")
-		note  = flag.String("note", "", "free-text note recorded in the JSON")
-		count = flag.Int("count", 1, "runs per benchmark; metrics are averaged")
-		btime = flag.String("benchtime", "", "passed through as -benchtime")
-		quiet = flag.Bool("quiet", false, "suppress the raw go test output")
+		pkg        = flag.String("pkg", "", "package to benchmark (e.g. ./internal/rsabatch/)")
+		bench      = flag.String("bench", ".", "benchmark regex passed to -bench")
+		name       = flag.String("name", "", "value for the \"bench\" field (default: the regex)")
+		out        = flag.String("out", "", "output file (default: stdout)")
+		note       = flag.String("note", "", "free-text note recorded in the JSON")
+		count      = flag.Int("count", 1, "runs per benchmark; metrics are averaged")
+		btime      = flag.String("benchtime", "", "passed through as -benchtime")
+		quiet      = flag.Bool("quiet", false, "suppress the raw go test output")
+		basePath   = flag.String("baseline", "", "compare the fresh run against this committed report; exit non-zero on regression")
+		tolPct     = flag.Float64("tolerance", 0, "relative noise tolerance in percent for -baseline/-checkdrift (0 = default)")
+		driftDir   = flag.String("checkdrift", "", "validate every BENCH_*.json under this directory against the paper shapes and history; runs no benchmarks")
+		historyDir = flag.String("history", "", "bench_history archive dir for -checkdrift (default <checkdrift dir>/bench_history)")
 	)
 	flag.Parse()
+
+	tol := baseline.DefaultTolerance()
+	if *tolPct > 0 {
+		tol.RelPct = *tolPct
+	}
+
+	if *driftDir != "" {
+		hist := *historyDir
+		if hist == "" {
+			hist = *driftDir + "/" + baseline.HistoryDir
+		}
+		os.Exit(checkDrift(os.Stdout, *driftDir, hist, tol))
+	}
+
 	if *pkg == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -pkg is required")
+		fmt.Fprintln(os.Stderr, "benchjson: -pkg is required (or -checkdrift <dir>)")
 		os.Exit(2)
 	}
 
@@ -71,7 +88,57 @@ func main() {
 		os.Stdout.Write(raw)
 	}
 
-	// Accumulate every run of every benchmark, then average.
+	results, _, err := parseBenchOutput(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v (regex %q matched nothing runnable in %s?)\n", err, *bench, *pkg)
+		os.Exit(1)
+	}
+
+	rep := &baseline.Report{
+		Bench:   *name,
+		Date:    time.Now().Format("2006-01-02"),
+		Machine: baseline.Machine(),
+		Command: "go " + strings.Join(args, " "),
+		Note:    *note,
+		Results: results,
+	}
+	if rep.Bench == "" {
+		rep.Bench = *bench
+	}
+	deriveSpeedups(rep)
+
+	if *out == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else if err := rep.Write(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	} else if !*quiet {
+		fmt.Println("wrote", *out)
+	}
+
+	if *basePath != "" {
+		base, err := baseline.Load(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		drift := baseline.Compare(base, rep, tol)
+		fmt.Print(drift.Summary())
+		if drift.Failed() {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBenchOutput turns `go test -bench` output into averaged
+// results. It returns an error when no benchmark line parsed — the
+// usual cause is a -bench regex that matched nothing.
+func parseBenchOutput(raw string) (map[string]*baseline.BenchResult, []string, error) {
 	type acc struct {
 		iters int64
 		sums  map[string]float64
@@ -79,7 +146,7 @@ func main() {
 	}
 	accs := map[string]*acc{}
 	var order []string
-	for _, line := range strings.Split(string(raw), "\n") {
+	for _, line := range strings.Split(raw, "\n") {
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -114,37 +181,34 @@ func main() {
 		a.iters += iters
 		a.runs++
 	}
-	if len(accs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in output")
-		os.Exit(1)
-	}
 
-	rep := report{
-		Bench:   *name,
-		Date:    time.Now().Format("2006-01-02"),
-		Machine: machine(),
-		Command: "go " + strings.Join(args, " "),
-		Note:    *note,
-		Results: map[string]*benchResult{},
-	}
-	if rep.Bench == "" {
-		rep.Bench = *bench
-	}
+	results := map[string]*baseline.BenchResult{}
 	for _, bname := range order {
 		a := accs[bname]
-		r := &benchResult{
+		if a.runs == 0 {
+			// Every run of this benchmark had an unparseable metric.
+			continue
+		}
+		r := &baseline.BenchResult{
 			Iterations: a.iters / a.runs,
 			Metrics:    map[string]float64{},
 		}
 		for unit, sum := range a.sums {
 			r.Metrics[unit] = round3(sum / float64(a.runs))
 		}
-		rep.Results[bname] = r
+		results[bname] = r
 	}
+	if len(results) == 0 {
+		return nil, nil, fmt.Errorf("no benchmark results parsed")
+	}
+	return results, order, nil
+}
 
-	// Derived speedups: within each `<prefix>/batch=N` family, rate
-	// metrics (anything ending in /s) relative to the batch=1 point;
-	// ns/op as fallback for benchmarks that report no rate.
+// deriveSpeedups fills in the derived speedup column: within each
+// `<prefix>/batch=N` family, rate metrics (anything ending in /s)
+// relative to the batch=1 point; ns/op as fallback for benchmarks
+// that report no rate.
+func deriveSpeedups(rep *baseline.Report) {
 	families := map[string][]string{}
 	for bname := range rep.Results {
 		if i := strings.Index(bname, "/batch="); i >= 0 {
@@ -164,27 +228,71 @@ func main() {
 			}
 		}
 	}
+}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
+// checkDrift validates every committed report under dir against the
+// registered expectation shapes, and against the newest archived run
+// in historyDir when one exists. Returns the process exit code.
+func checkDrift(w *os.File, dir, historyDir string, tol baseline.Tolerance) int {
+	paths, reports, err := baseline.Committed(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return 1
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	} else if !*quiet {
-		fmt.Println("wrote", *out)
+	if len(reports) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no BENCH_*.json reports under %s\n", dir)
+		return 1
 	}
+	failures := 0
+	for i, rep := range reports {
+		violations, known := baseline.CheckShape(rep)
+		switch {
+		case !known:
+			fmt.Fprintf(w, "%-36s skipped (no registered shape for bench %q)\n", paths[i], rep.Bench)
+			continue
+		case len(violations) > 0:
+			failures += len(violations)
+			fmt.Fprintf(w, "%-36s SHAPE DRIFT\n", paths[i])
+			for _, v := range violations {
+				fmt.Fprintf(w, "    [%s] %s\n", v.Check, v.Detail)
+			}
+		default:
+			fmt.Fprintf(w, "%-36s shape OK\n", paths[i])
+		}
+
+		// Trend: committed report vs the newest archived run of the
+		// same bench, so a silent regression in a refreshed report is
+		// caught even though both individually satisfy the shape.
+		_, hist, err := baseline.History(historyDir, rep.Bench)
+		if err != nil || len(hist) == 0 {
+			continue
+		}
+		drift := baseline.Compare(hist[len(hist)-1], rep, tol)
+		if drift.Failed() {
+			failures += len(drift.Failures)
+			fmt.Fprintf(w, "%-36s DRIFT vs last archive\n", paths[i])
+			for _, d := range drift.Failures {
+				fmt.Fprintf(w, "    %s\n", d.String())
+			}
+			for _, m := range drift.Missing {
+				fmt.Fprintf(w, "    missing result %q\n", m)
+			}
+		} else {
+			fmt.Fprintf(w, "%-36s trend OK (vs %d archived)\n", paths[i], len(hist))
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(w, "\ncheckdrift: %d failure(s)\n", failures)
+		return 1
+	}
+	fmt.Fprintf(w, "\ncheckdrift: all %d report(s) within tolerance\n", len(reports))
+	return 0
 }
 
 // rateSpeedup compares r to base on the first shared rate metric
 // (unit ending in "/s", higher is better), falling back to inverse
 // ns/op (lower is better).
-func rateSpeedup(r, base *benchResult) float64 {
+func rateSpeedup(r, base *baseline.BenchResult) float64 {
 	for unit, bv := range base.Metrics {
 		if strings.HasSuffix(unit, "/s") && bv > 0 {
 			if v, ok := r.Metrics[unit]; ok {
@@ -214,19 +322,4 @@ func trimProcs(name string) string {
 func round3(v float64) float64 {
 	s, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 3, 64), 64)
 	return s
-}
-
-// machine describes the host the numbers were taken on.
-func machine() string {
-	desc := fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version())
-	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			if strings.HasPrefix(line, "model name") {
-				if _, model, ok := strings.Cut(line, ":"); ok {
-					return strings.TrimSpace(model) + ", " + desc
-				}
-			}
-		}
-	}
-	return desc
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sslperf/internal/baseline"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: sslperf/internal/rsabatch
+BenchmarkBatchDecrypt/batch=1-8         100    1000000 ns/op    1000.0 decrypts/s    64 B/op    2 allocs/op
+BenchmarkBatchDecrypt/batch=4-8         400     300000 ns/op    3300.0 decrypts/s    80 B/op    3 allocs/op
+BenchmarkBatchDecrypt/batch=1-8         100    1020000 ns/op    980.0 decrypts/s     64 B/op    2 allocs/op
+BenchmarkBatchDecrypt/batch=4-8         400     310000 ns/op    3200.0 decrypts/s    80 B/op    3 allocs/op
+PASS
+`
+
+func TestParseBenchOutputAverages(t *testing.T) {
+	results, order, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "BatchDecrypt/batch=1" {
+		t.Fatalf("order = %v", order)
+	}
+	b1 := results["BatchDecrypt/batch=1"]
+	if b1 == nil || b1.Iterations != 100 {
+		t.Fatalf("batch=1 = %+v", b1)
+	}
+	if got := b1.Metrics["decrypts/s"]; got != 990 {
+		t.Fatalf("averaged decrypts/s = %v, want 990", got)
+	}
+	if got := b1.Metrics["ns/op"]; got != 1010000 {
+		t.Fatalf("averaged ns/op = %v", got)
+	}
+}
+
+func TestParseBenchOutputNoMatches(t *testing.T) {
+	for _, raw := range []string{
+		"PASS\nok  \tsslperf/internal/rsabatch\t0.01s\n",
+		"", // empty output
+		// A benchmark line whose every run has a garbage metric must
+		// not slip through as a zero-run result (old divide-by-zero).
+		"BenchmarkBroken-8    100    oops ns/op\nPASS\n",
+	} {
+		if _, _, err := parseBenchOutput(raw); err == nil {
+			t.Fatalf("no error for output %q", raw)
+		}
+	}
+}
+
+func TestDeriveSpeedups(t *testing.T) {
+	results, _, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &baseline.Report{Bench: "x", Results: results}
+	deriveSpeedups(rep)
+	s := results["BatchDecrypt/batch=4"].Speedup
+	if s < 3.2 || s > 3.4 {
+		t.Fatalf("batch=4 speedup = %v", s)
+	}
+	if results["BatchDecrypt/batch=1"].Speedup != 1 {
+		t.Fatalf("batch=1 speedup = %v", results["BatchDecrypt/batch=1"].Speedup)
+	}
+}
+
+// writeBatchReport writes a minimal shape-valid rsa-batch report.
+func writeBatchReport(t *testing.T, path string, rate4 float64) {
+	t.Helper()
+	rep := &baseline.Report{
+		Bench: "rsa-batch-amortization",
+		Date:  "2026-08-06",
+		Results: map[string]*baseline.BenchResult{
+			"BatchDecrypt/batch=1": {Iterations: 100, Metrics: map[string]float64{"decrypts/s": 1000}},
+			"BatchDecrypt/batch=2": {Iterations: 200, Metrics: map[string]float64{"decrypts/s": 1900}, Speedup: 1.9},
+			"BatchDecrypt/batch=4": {Iterations: 400, Metrics: map[string]float64{"decrypts/s": rate4}, Speedup: rate4 / 1000},
+			"BatchDecrypt/batch=8": {Iterations: 800, Metrics: map[string]float64{"decrypts/s": 4000}, Speedup: 4},
+		},
+	}
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDriftPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, baseline.HistoryDir)
+	if err := os.MkdirAll(hist, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBatchReport(t, filepath.Join(dir, "BENCH_rsa_batch.json"), 3300)
+	writeBatchReport(t, filepath.Join(hist, "BENCH_rsa_batch-20260806000000.json"), 3300)
+
+	if code := checkDrift(os.Stdout, dir, hist, baseline.DefaultTolerance()); code != 0 {
+		t.Fatalf("healthy dir exit = %d", code)
+	}
+
+	// Perturb the committed report: batch=4 collapses below batch=2 —
+	// both the shape gate (monotonicity) and the trend gate (vs the
+	// archived 3300) must flag it.
+	writeBatchReport(t, filepath.Join(dir, "BENCH_rsa_batch.json"), 1100)
+	if code := checkDrift(os.Stdout, dir, hist, baseline.DefaultTolerance()); code != 1 {
+		t.Fatalf("perturbed dir exit = %d, want 1", code)
+	}
+}
+
+func TestCheckDriftEmptyDirFails(t *testing.T) {
+	if code := checkDrift(os.Stdout, t.TempDir(), "nope", baseline.DefaultTolerance()); code != 1 {
+		t.Fatal("empty dir must fail the gate")
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"net"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"sslperf/internal/handshake"
@@ -51,68 +50,17 @@ func main() {
 		}
 		base.Suites = []suite.ID{s.ID}
 	}
-	workers := *parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > *n {
-		workers = *n
-	}
+	stats := runPool(*addr, base, seedVal, *n, *parallel, *reqPerCon, *resume, log.Printf)
 
-	var (
-		mu           sync.Mutex
-		hsTotal      time.Duration
-		xferTotal    time.Duration
-		bytesTotal   int
-		resumedCount int
-		failures     int
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		count := *n / workers
-		if w < *n%workers {
-			count++
-		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			// Per-worker PRNG: ssl.PRNG is not safe for concurrent use.
-			rnd := ssl.NewPRNG(seedVal + uint64(w)*7919)
-			var session *handshake.Session
-			for i := 0; i < count; i++ {
-				hs, xfer, bytes, resumed, err := transact(
-					*addr, base, rnd, session, *resume, *reqPerCon, &session)
-				mu.Lock()
-				if err != nil {
-					failures++
-					log.Printf("worker %d conn %d: %v", w, i, err)
-				} else {
-					hsTotal += hs
-					xferTotal += xfer
-					bytesTotal += bytes
-					if resumed {
-						resumedCount++
-					}
-				}
-				mu.Unlock()
-				if err != nil {
-					return
-				}
-			}
-		}(w, count)
-	}
-	wg.Wait()
-
-	done := *n - failures
 	fmt.Printf("connections: %d (%d resumed, %d failed, %d workers)\n",
-		done, resumedCount, failures, workers)
-	if done > 0 {
-		fmt.Printf("avg handshake: %v\n", hsTotal/time.Duration(done))
-		fmt.Printf("avg transaction: %v\n", xferTotal/time.Duration(done**reqPerCon))
+		stats.Done, stats.Resumed, stats.Failed, stats.Workers)
+	if stats.Done > 0 {
+		fmt.Printf("avg handshake: %v\n", stats.Handshake/time.Duration(stats.Done))
+		fmt.Printf("avg transaction: %v\n", stats.Transfer/time.Duration(stats.Requests))
 	}
-	fmt.Printf("payload bytes: %d\n", bytesTotal)
-	if failures > 0 {
-		log.Fatalf("%d connections failed", failures)
+	fmt.Printf("payload bytes: %d\n", stats.Bytes)
+	if stats.Failed > 0 {
+		log.Fatalf("%d connections failed", stats.Failed)
 	}
 }
 

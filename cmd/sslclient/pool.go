@@ -1,0 +1,83 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/ssl"
+)
+
+// poolStats aggregates one runPool invocation.
+type poolStats struct {
+	Done     int
+	Resumed  int
+	Failed   int
+	Workers  int
+	Requests int
+
+	Handshake time.Duration // summed across connections
+	Transfer  time.Duration // summed across requests
+	Bytes     int
+}
+
+// runPool spreads n connections over `workers` goroutines. Each
+// worker owns a private PRNG (ssl.PRNG is not safe for concurrent
+// use) and its own session chain, so with resume enabled every
+// connection after a worker's first resumes that worker's latest
+// session — the browser-like pattern the paper's client machines
+// model. logf receives per-connection failures; pass nil to discard.
+func runPool(addr string, base *ssl.Config, seed uint64,
+	n, workers, reqPerCon int, resume bool,
+	logf func(format string, args ...any)) poolStats {
+
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	stats := poolStats{Workers: workers}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := n / workers
+		if w < n%workers {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			rnd := ssl.NewPRNG(seed + uint64(w)*7919)
+			var session *handshake.Session
+			for i := 0; i < count; i++ {
+				hs, xfer, bytes, resumed, err := transact(
+					addr, base, rnd, session, resume, reqPerCon, &session)
+				mu.Lock()
+				if err != nil {
+					stats.Failed++
+					logf("worker %d conn %d: %v", w, i, err)
+				} else {
+					stats.Done++
+					stats.Requests += reqPerCon
+					stats.Handshake += hs
+					stats.Transfer += xfer
+					stats.Bytes += bytes
+					if resumed {
+						stats.Resumed++
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	return stats
+}

@@ -1,0 +1,120 @@
+// Command sslload drives HTTPS-like load against sslserver and
+// reports coordinated-omission-safe per-phase latency.
+//
+// Open loop (fixed arrival rate):
+//
+//	sslload -addr localhost:4433 -rate 200 -duration 10s -json out.json
+//
+// Closed loop (fixed concurrency):
+//
+//	sslload -addr localhost:4433 -concurrency 8 -duration 10s
+//
+// Self-contained smoke (spins up an in-process server, then checks
+// the report against the baseline shape gate):
+//
+//	sslload -selftest -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sslperf/internal/baseline"
+	"sslperf/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:4433", "target server address")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate (conns/s); 0 = closed loop")
+		concurrency = flag.Int("concurrency", 0, "closed-loop workers / open-loop in-flight cap (0 = default)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup window discarded from distributions")
+		requests    = flag.Int("requests", 1, "requests per connection")
+		resume      = flag.Float64("resume", 0, "fraction of connections attempting session resumption [0,1]")
+		suites      = flag.String("suites", "", "weighted cipher-suite mix, e.g. RC4-MD5:3,DES-CBC3-SHA:1 (empty = offer all)")
+		useTLS      = flag.Bool("tls", false, "offer TLS 1.0 instead of SSL 3.0")
+		seed        = flag.Uint64("seed", 0, "deterministic PRNG seed (0 = time-based)")
+		jsonOut     = flag.String("json", "", "write machine-readable report to this file")
+		note        = flag.String("note", "", "free-form note embedded in the JSON report")
+		selftest    = flag.Bool("selftest", false, "start an in-process server, load it, and gate the report shape")
+		keyBits     = flag.Int("keybits", 1024, "selftest server RSA key size")
+		fileSize    = flag.Int("filesize", 1024, "selftest server response payload bytes")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseSuiteMix(*suites)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := loadgen.Config{
+		Addr:           *addr,
+		Rate:           *rate,
+		Concurrency:    *concurrency,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		Requests:       *requests,
+		ResumeFraction: *resume,
+		Mix:            mix,
+		TLS:            *useTLS,
+		Seed:           *seed,
+	}
+
+	if *selftest {
+		srv, err := loadgen.StartServer(loadgen.ServerOptions{
+			KeyBits:  *keyBits,
+			FileSize: *fileSize,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		cfg.Addr = srv.Addr()
+		if cfg.Rate == 0 && cfg.Concurrency == 0 {
+			cfg.Rate = 200 // exercise the coordinated-omission path by default
+		}
+		fmt.Printf("selftest server on %s (%d-bit key, %d-byte payload)\n\n", cfg.Addr, *keyBits, *fileSize)
+	}
+
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Text())
+
+	rep := res.Report("sslload "+strings.Join(os.Args[1:], " "), *note)
+	if *jsonOut != "" {
+		if err := rep.Write(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nreport written to %s\n", *jsonOut)
+	}
+
+	if *selftest {
+		// The smoke gate: the run must have done real work, recorded
+		// clean distributions, and produced a shape-valid report.
+		if res.Done == 0 || res.Failed > res.Done/10 {
+			fatal(fmt.Errorf("selftest: %d done, %d failed: %v", res.Done, res.Failed, res.Errors))
+		}
+		violations, known := baseline.CheckShape(rep)
+		if !known {
+			fatal(fmt.Errorf("selftest: bench %q has no registered shape", rep.Bench))
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "shape violation [%s]: %s\n", v.Check, v.Detail)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nselftest OK: %d connections, report passes the %s shape gate\n", res.Done, rep.Bench)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sslload:", err)
+	os.Exit(1)
+}

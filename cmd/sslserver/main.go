@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslperf/internal/baseline"
 	"sslperf/internal/handshake"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
@@ -76,7 +77,11 @@ func main() {
 		mux := http.NewServeMux()
 		telemetry.Register(mux, reg)
 		if tracer != nil {
-			trace.Register(mux, tracer)
+			// POST /debug/anatomy/reset clears the profiler and the
+			// metrics registry together, so "warm up, reset, measure"
+			// runs read clean numbers on both surfaces.
+			trace.RegisterWithReset(mux, tracer, reg.Reset)
+			baseline.RegisterHealth(mux, tracer.Profiler().Snapshot, baseline.PaperExpectation())
 		}
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,198 @@
+package baseline
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(bench string, results map[string]map[string]float64) *Report {
+	r := &Report{Bench: bench, Results: map[string]*BenchResult{}}
+	for name, metrics := range results {
+		r.Results[name] = &BenchResult{Iterations: 100, Metrics: metrics}
+	}
+	return r
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report("b", map[string]map[string]float64{
+		"X": {"ns/op": 1000, "decrypts/s": 500},
+	})
+	fresh := report("b", map[string]map[string]float64{
+		"X": {"ns/op": 1100, "decrypts/s": 450}, // 10% worse both ways
+	})
+	d := Compare(base, fresh, DefaultTolerance())
+	if d.Failed() {
+		t.Fatalf("10%% drift failed the 25%% gate:\n%s", d.Summary())
+	}
+	if len(d.Deltas) != 2 {
+		t.Fatalf("compared %d metrics, want 2", len(d.Deltas))
+	}
+}
+
+func TestCompareDirectionality(t *testing.T) {
+	base := report("b", map[string]map[string]float64{
+		"X": {"ns/op": 1000, "decrypts/s": 500},
+	})
+	// Massive *improvements* must never fail: faster ns/op, higher rate.
+	fresh := report("b", map[string]map[string]float64{
+		"X": {"ns/op": 100, "decrypts/s": 5000},
+	})
+	if d := Compare(base, fresh, DefaultTolerance()); d.Failed() {
+		t.Fatalf("improvement failed the gate:\n%s", d.Summary())
+	}
+	// A rate dropping 40% must fail and name the metric with a delta.
+	fresh = report("b", map[string]map[string]float64{
+		"X": {"ns/op": 1000, "decrypts/s": 300},
+	})
+	d := Compare(base, fresh, DefaultTolerance())
+	if !d.Failed() || len(d.Failures) != 1 {
+		t.Fatalf("40%% rate regression passed:\n%s", d.Summary())
+	}
+	f := d.Failures[0]
+	if f.Metric != "decrypts/s" || math.Abs(f.Pct-40) > 0.01 {
+		t.Fatalf("failure = %+v, want decrypts/s at +40%%", f)
+	}
+	if !strings.Contains(d.Summary(), "decrypts/s") {
+		t.Fatalf("summary does not name the metric:\n%s", d.Summary())
+	}
+}
+
+func TestCompareMissingResultFails(t *testing.T) {
+	base := report("b", map[string]map[string]float64{"X": {"ns/op": 1}, "Y": {"ns/op": 1}})
+	fresh := report("b", map[string]map[string]float64{"X": {"ns/op": 1}})
+	d := Compare(base, fresh, DefaultTolerance())
+	if !d.Failed() || len(d.Missing) != 1 || d.Missing[0] != "Y" {
+		t.Fatalf("vanished result not flagged: %+v", d)
+	}
+}
+
+func TestCompareAllocsFromZeroFails(t *testing.T) {
+	base := report("b", map[string]map[string]float64{"X": {"allocs/op": 0}})
+	fresh := report("b", map[string]map[string]float64{"X": {"allocs/op": 2}})
+	d := Compare(base, fresh, DefaultTolerance())
+	if !d.Failed() {
+		t.Fatal("allocs 0 -> 2 passed the gate")
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	good := report("rsa-batch-amortization", map[string]map[string]float64{
+		"BatchDecrypt/batch=1": {"decrypts/s": 885},
+		"BatchDecrypt/batch=2": {"decrypts/s": 1318},
+		"BatchDecrypt/batch=4": {"decrypts/s": 2104},
+		"BatchDecrypt/batch=8": {"decrypts/s": 2481},
+	})
+	if v, known := CheckShape(good); !known || len(v) != 0 {
+		t.Fatalf("committed curve rejected: %v", v)
+	}
+	// Perturb: batch=8 collapses below the singleton rate. The stored
+	// speedup field is absent/stale on purpose — the check must
+	// recompute from decrypts/s.
+	bad := report("rsa-batch-amortization", map[string]map[string]float64{
+		"BatchDecrypt/batch=1": {"decrypts/s": 885},
+		"BatchDecrypt/batch=2": {"decrypts/s": 1318},
+		"BatchDecrypt/batch=4": {"decrypts/s": 2104},
+		"BatchDecrypt/batch=8": {"decrypts/s": 600},
+	})
+	v, _ := CheckShape(bad)
+	if len(v) == 0 {
+		t.Fatal("collapsed batch=8 passed the shape check")
+	}
+	if !strings.Contains(v[0].Detail, "batch=8") {
+		t.Fatalf("violation does not name the point: %v", v)
+	}
+}
+
+func TestRecordAndTraceShapes(t *testing.T) {
+	rec := report("record-seal-allocs", map[string]map[string]float64{
+		"RecordSeal/RC4-MD5": {"allocs/op": 1},
+		"RecordOpen/RC4-MD5": {"allocs/op": 0},
+	})
+	if v, known := CheckShape(rec); !known || len(v) != 0 {
+		t.Fatalf("good record shape rejected: %v", v)
+	}
+	rec.Results["RecordSeal/RC4-MD5"].Metrics["allocs/op"] = 5
+	if v, _ := CheckShape(rec); len(v) == 0 {
+		t.Fatal("5 allocs/op seal passed")
+	}
+
+	tr := report("trace-overhead", map[string]map[string]float64{
+		"HandshakeTraceOff":       {"ns/op": 312094},
+		"HandshakeTraceSampled16": {"ns/op": 319011},
+		"HandshakeTraceAlways":    {"ns/op": 359035},
+	})
+	if v, known := CheckShape(tr); !known || len(v) != 0 {
+		t.Fatalf("good trace shape rejected: %v", v)
+	}
+	tr.Results["HandshakeTraceSampled16"].Metrics["ns/op"] = 500000
+	if v, _ := CheckShape(tr); len(v) == 0 {
+		t.Fatal("60% sampling overhead passed")
+	}
+}
+
+func TestUnknownBenchSkipped(t *testing.T) {
+	r := report("telemetry-overhead", nil)
+	if v, known := CheckShape(r); known || len(v) != 0 {
+		t.Fatalf("unknown bench not skipped: known=%v %v", known, v)
+	}
+}
+
+func TestCommittedReportsPassShapeChecks(t *testing.T) {
+	// The real committed baselines must satisfy their own shapes —
+	// this is `make checkdrift`'s core claim, run as a unit test.
+	paths, reports, err := Committed(filepath.Join("..", "..", "docs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 4 {
+		t.Fatalf("found only %d committed BENCH reports", len(reports))
+	}
+	known := 0
+	for i, r := range reports {
+		v, k := CheckShape(r)
+		if k {
+			known++
+		}
+		if len(v) != 0 {
+			t.Errorf("%s: %v", paths[i], v)
+		}
+	}
+	if known < 3 {
+		t.Fatalf("only %d committed reports have registered shapes", known)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r1 := report("b", map[string]map[string]float64{"X": {"ns/op": 100}})
+	r2 := report("b", map[string]map[string]float64{"X": {"ns/op": 110}})
+	other := report("other", map[string]map[string]float64{"X": {"ns/op": 1}})
+	if err := r1.Write(filepath.Join(dir, "BENCH_b-20260101000000.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Write(filepath.Join(dir, "BENCH_b-20260201000000.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Write(filepath.Join(dir, "BENCH_other-20260301000000.json")); err != nil {
+		t.Fatal(err)
+	}
+	_, hist, err := History(dir, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(hist))
+	}
+	steps := Trend(hist, report("b", map[string]map[string]float64{"X": {"ns/op": 400}}), DefaultTolerance())
+	if len(steps) != 2 {
+		t.Fatalf("trend has %d steps, want 2", len(steps))
+	}
+	if steps[0].Failed() {
+		t.Fatalf("100->110 step failed: %s", steps[0].Summary())
+	}
+	if !steps[1].Failed() {
+		t.Fatal("110->400 step passed")
+	}
+}

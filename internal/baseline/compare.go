@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tolerance bounds how far a fresh metric may regress from its
+// baseline before the gate fails. Regressions are directional: a
+// faster ns/op or a higher decrypts/s never fails, however large the
+// delta.
+type Tolerance struct {
+	// RelPct is the allowed relative regression in percent (25 means
+	// a metric may be up to 25% worse than the baseline).
+	RelPct float64
+
+	// Metric overrides RelPct per metric unit ("allocs/op": 0 pins
+	// allocation counts exactly).
+	Metric map[string]float64
+
+	// Skip lists metric units the gate ignores entirely. B/op and
+	// iteration counts are noisy across Go versions and machines;
+	// the default tolerance skips nothing.
+	Skip []string
+}
+
+// DefaultTolerance is the checkdrift gate's default: 25% relative on
+// every metric — wide enough for shared-hardware noise on timing
+// metrics, tight enough to catch a real regression in decrypts/s,
+// record seal ns/op, or handshake cycles — with allocation counts
+// held to 10% (they are near-deterministic).
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		RelPct: 25,
+		Metric: map[string]float64{"allocs/op": 10},
+	}
+}
+
+// limit returns the allowed regression percentage for a metric and
+// whether the metric participates at all.
+func (t Tolerance) limit(metric string) (float64, bool) {
+	for _, s := range t.Skip {
+		if s == metric {
+			return 0, false
+		}
+	}
+	if t.Metric != nil {
+		if v, ok := t.Metric[metric]; ok {
+			return v, true
+		}
+	}
+	return t.RelPct, true
+}
+
+// A Delta is one metric's baseline-vs-fresh comparison.
+type Delta struct {
+	Result string  `json:"result"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	New    float64 `json:"new"`
+	// Pct is the signed relative change; positive means regressed
+	// (worse in the metric's direction), negative means improved.
+	Pct       float64 `json:"pct"`
+	BeyondTol bool    `json:"beyond_tolerance"`
+}
+
+func (d Delta) String() string {
+	verb := "improved"
+	if d.Pct > 0 {
+		verb = "regressed"
+	}
+	return fmt.Sprintf("%s %s: %.3f -> %.3f (%s %.1f%%)",
+		d.Result, d.Metric, d.Base, d.New, verb, math.Abs(d.Pct))
+}
+
+// A DriftReport is the outcome of comparing a fresh report against
+// its baseline.
+type DriftReport struct {
+	Bench    string   `json:"bench"`
+	Failures []Delta  `json:"failures,omitempty"` // regressions beyond tolerance
+	Deltas   []Delta  `json:"deltas,omitempty"`   // every compared metric
+	Missing  []string `json:"missing,omitempty"`  // baseline results absent from the fresh run
+}
+
+// Failed reports whether the gate should reject the fresh run.
+func (d *DriftReport) Failed() bool {
+	return len(d.Failures) > 0 || len(d.Missing) > 0
+}
+
+// Summary renders the drift report as one human-readable block, one
+// line per finding; failures lead.
+func (d *DriftReport) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d metrics compared, %d beyond tolerance, %d missing\n",
+		d.Bench, len(d.Deltas), len(d.Failures), len(d.Missing))
+	for _, f := range d.Failures {
+		fmt.Fprintf(&sb, "  FAIL %s\n", f)
+	}
+	for _, m := range d.Missing {
+		fmt.Fprintf(&sb, "  FAIL %s: in baseline but not in fresh run\n", m)
+	}
+	return sb.String()
+}
+
+// Compare checks a fresh report against its baseline. Every metric
+// present in both is compared; only regressions beyond tol (and
+// results that vanished) count as failures. Metrics or results that
+// are new in fresh pass — growth is not drift.
+func Compare(base, fresh *Report, tol Tolerance) *DriftReport {
+	d := &DriftReport{Bench: base.Bench}
+	for _, result := range base.SortedResults() {
+		br := base.Results[result]
+		fr := fresh.Results[result]
+		if fr == nil {
+			d.Missing = append(d.Missing, result)
+			continue
+		}
+		metrics := make([]string, 0, len(br.Metrics))
+		for m := range br.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			bv := br.Metrics[metric]
+			nv, ok := fr.Metrics[metric]
+			if !ok {
+				continue
+			}
+			limit, active := tol.limit(metric)
+			if !active {
+				continue
+			}
+			delta := Delta{Result: result, Metric: metric, Base: bv, New: nv}
+			switch {
+			case bv == 0 && nv == 0:
+				// nothing to say
+			case bv == 0:
+				// Appearing from zero: regressed if lower is better
+				// (e.g. allocs going 0 -> 2), improved otherwise.
+				if lowerIsBetter(metric) {
+					delta.Pct = math.Inf(1)
+					delta.BeyondTol = true
+				} else {
+					delta.Pct = math.Inf(-1)
+				}
+			default:
+				rel := 100 * (nv - bv) / bv
+				if !lowerIsBetter(metric) {
+					rel = -rel
+				}
+				delta.Pct = rel
+				delta.BeyondTol = rel > limit
+			}
+			d.Deltas = append(d.Deltas, delta)
+			if delta.BeyondTol {
+				d.Failures = append(d.Failures, delta)
+			}
+		}
+	}
+	return d
+}
+
+// Trend compares each consecutive pair of an archived history plus
+// the current report, returning one DriftReport per step. It answers
+// "how did we get here", not "should the gate fail": callers usually
+// only gate on the last step.
+func Trend(history []*Report, current *Report, tol Tolerance) []*DriftReport {
+	var out []*DriftReport
+	seq := append(append([]*Report(nil), history...), current)
+	for i := 1; i < len(seq); i++ {
+		out = append(out, Compare(seq[i-1], seq[i], tol))
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package baseline is the drift engine that closes the paper's
+// measurement loop: it loads the committed docs/BENCH_*.json reports,
+// compares fresh numbers against them within noise tolerances,
+// validates each report against the expectation shapes the paper's
+// tables predict (batch amortization rises with width, sealing stays
+// allocation-free, sampling overhead stays marginal), and folds the
+// live anatomy profiler's Table 2/3 shares through the same
+// expectations so a server can answer "is the RSA step still ~90% of
+// the handshake?" continuously at /debug/health.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A BenchResult is one benchmark's averaged metrics — one entry of a
+// BENCH_*.json results map. Metrics are keyed by go-test unit names
+// (ns/op, B/op, allocs/op, decrypts/s, p99_us, ...).
+type BenchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Speedup    float64            `json:"speedup,omitempty"`
+}
+
+// A Report is the machine-readable result file cmd/benchjson and
+// cmd/sslload write and `make checkdrift` gates on — the committed
+// docs/BENCH_*.json shape.
+type Report struct {
+	Bench   string                  `json:"bench"`
+	Date    string                  `json:"date"`
+	Machine string                  `json:"machine"`
+	Command string                  `json:"command"`
+	Note    string                  `json:"note,omitempty"`
+	Results map[string]*BenchResult `json:"results"`
+}
+
+// Metric returns a result's metric value, with ok reporting whether
+// both the result and the metric exist.
+func (r *Report) Metric(result, metric string) (float64, bool) {
+	br := r.Results[result]
+	if br == nil {
+		return 0, false
+	}
+	v, ok := br.Metrics[metric]
+	return v, ok
+}
+
+// SortedResults returns the report's result names sorted, for stable
+// iteration.
+func (r *Report) SortedResults() []string {
+	names := make([]string, 0, len(r.Results))
+	for name := range r.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads one report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Bench == "" {
+		return nil, fmt.Errorf("%s: not a benchmark report (no \"bench\" field)", path)
+	}
+	return &r, nil
+}
+
+// Write marshals the report to path as indented JSON.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Committed returns every BENCH_*.json report under dir (the docs/
+// directory), sorted by path.
+func Committed(dir string) (paths []string, reports []*Report, err error) {
+	paths, err = filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		r, err := Load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, r)
+	}
+	return paths, reports, nil
+}
+
+// HistoryDir is the archive `make bench` copies each refreshed report
+// into, named <base>-<timestamp>.json, so drift can be read as a
+// trend instead of last-vs-committed only.
+const HistoryDir = "bench_history"
+
+// History returns the archived reports for one bench name under
+// historyDir, oldest-first (timestamps in the filenames sort
+// lexicographically). A missing directory is an empty history, not an
+// error.
+func History(historyDir, bench string) (paths []string, reports []*Report, err error) {
+	entries, err := filepath.Glob(filepath.Join(historyDir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		return nil, nil, nil
+	}
+	sort.Strings(entries)
+	for _, p := range entries {
+		r, err := Load(p)
+		if err != nil {
+			// Skip foreign files rather than failing the gate on them.
+			continue
+		}
+		if r.Bench == bench {
+			paths = append(paths, p)
+			reports = append(reports, r)
+		}
+	}
+	return paths, reports, nil
+}
+
+// Machine describes the host a report's numbers were taken on, so
+// every report writer (cmd/benchjson, cmd/sslload) labels runs alike.
+func Machine() string {
+	desc := fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version())
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if _, model, ok := strings.Cut(line, ":"); ok {
+					return strings.TrimSpace(model) + ", " + desc
+				}
+			}
+		}
+	}
+	return desc
+}
+
+// lowerIsBetter classifies a metric's direction: rate metrics
+// (anything/s) and speedups improve upward, everything else — times,
+// bytes, allocations, latency quantiles — improves downward.
+func lowerIsBetter(metric string) bool {
+	if strings.HasSuffix(metric, "/s") || metric == "speedup" {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Violation is one broken expectation shape: a named check, the
+// metric that broke it, and how far off it is.
+type Violation struct {
+	Check  string `json:"check"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// CheckShape validates a report against the expectation shape the
+// paper (and our committed results) predict for that bench. Shapes
+// are recomputed from the raw metrics — never read from derived
+// fields like "speedup" — so a perturbed metric cannot hide behind a
+// stale ratio. An unknown bench name has no registered expectations
+// and passes vacuously (with ok=false so callers can report "skipped").
+func CheckShape(r *Report) (violations []Violation, known bool) {
+	switch r.Bench {
+	case "rsa-batch-amortization":
+		return checkBatchShape(r), true
+	case "record-seal-allocs":
+		return checkRecordShape(r), true
+	case "trace-overhead":
+		return checkTraceShape(r), true
+	case "load-latency":
+		return checkLoadShape(r), true
+	}
+	return nil, false
+}
+
+// checkBatchShape encodes the paper's batch-RSA claim (and Pateriya
+// et al.'s server evaluation): amortizing the ClientKeyExchange
+// decryption over a batch must beat the singleton path, and wider
+// batches must not fall back below narrower ones' floor.
+func checkBatchShape(r *Report) []Violation {
+	var out []Violation
+	base, ok := r.Metric("BatchDecrypt/batch=1", "decrypts/s")
+	if !ok || base <= 0 {
+		return []Violation{{"batch-baseline", "BatchDecrypt/batch=1 has no decrypts/s metric"}}
+	}
+	speedup := func(n int) (float64, bool) {
+		v, ok := r.Metric(fmt.Sprintf("BatchDecrypt/batch=%d", n), "decrypts/s")
+		if !ok {
+			return 0, false
+		}
+		return v / base, true
+	}
+	prev := 1.0
+	for _, n := range []int{2, 4, 8} {
+		s, ok := speedup(n)
+		if !ok {
+			out = append(out, Violation{"batch-curve",
+				fmt.Sprintf("BatchDecrypt/batch=%d missing decrypts/s", n)})
+			continue
+		}
+		if s < 1.15 {
+			out = append(out, Violation{"batch-amortization",
+				fmt.Sprintf("batch=%d decrypts/s speedup %.2fx over batch=1, want >= 1.15x", n, s)})
+		}
+		// Wider batches may plateau but must not collapse below ~80%
+		// of the narrower width's gain.
+		if s < 0.8*prev {
+			out = append(out, Violation{"batch-monotonic",
+				fmt.Sprintf("batch=%d speedup %.2fx fell below 80%% of batch=%d's %.2fx", n, s, n/2, prev)})
+		}
+		prev = s
+	}
+	return out
+}
+
+// checkRecordShape pins the record layer's pooled-buffer win: sealing
+// stays at one amortized allocation per record, opening at most two.
+func checkRecordShape(r *Report) []Violation {
+	var out []Violation
+	for _, name := range r.SortedResults() {
+		allocs, ok := r.Metric(name, "allocs/op")
+		if !ok {
+			continue
+		}
+		var ceil float64
+		switch {
+		case strings.HasPrefix(name, "RecordSeal/"):
+			ceil = 1
+		case strings.HasPrefix(name, "RecordOpen/"):
+			ceil = 2
+		default:
+			continue
+		}
+		if allocs > ceil {
+			out = append(out, Violation{"record-allocs",
+				fmt.Sprintf("%s allocs/op %.0f, want <= %.0f (pooled seal buffer regressed)", name, allocs, ceil)})
+		}
+	}
+	return out
+}
+
+// checkTraceShape bounds span-tracing overhead against the untraced
+// baseline: the production 1-in-16 sampling must stay marginal and
+// even always-on tracing must stay under 2x.
+func checkTraceShape(r *Report) []Violation {
+	var out []Violation
+	off, ok := r.Metric("HandshakeTraceOff", "ns/op")
+	if !ok || off <= 0 {
+		return []Violation{{"trace-baseline", "HandshakeTraceOff has no ns/op metric"}}
+	}
+	if v, ok := r.Metric("HandshakeTraceSampled16", "ns/op"); ok && v > 1.2*off {
+		out = append(out, Violation{"trace-sampled-overhead",
+			fmt.Sprintf("1-in-16 sampling ns/op %.0f is %.1f%% over the untraced %.0f, want <= 20%%",
+				v, 100*(v-off)/off, off)})
+	}
+	if v, ok := r.Metric("HandshakeTraceAlways", "ns/op"); ok && v > 2*off {
+		out = append(out, Violation{"trace-always-overhead",
+			fmt.Sprintf("always-on tracing ns/op %.0f is %.2fx the untraced %.0f, want <= 2x", v, v/off, off)})
+	}
+	return out
+}
+
+// checkLoadShape sanity-checks an sslload report: quantiles must be
+// ordered (p50 <= p95 <= p99 <= max) per phase and the phase anatomy
+// must nest (handshake can't exceed the total).
+func checkLoadShape(r *Report) []Violation {
+	var out []Violation
+	for _, name := range r.SortedResults() {
+		br := r.Results[name]
+		p50, ok50 := br.Metrics["p50_us"]
+		p95, ok95 := br.Metrics["p95_us"]
+		p99, ok99 := br.Metrics["p99_us"]
+		max, okMax := br.Metrics["max_us"]
+		if !(ok50 && ok95 && ok99 && okMax) {
+			continue
+		}
+		if p50 > p95 || p95 > p99 || p99 > max {
+			out = append(out, Violation{"load-quantile-order",
+				fmt.Sprintf("%s: p50 %.0f / p95 %.0f / p99 %.0f / max %.0f not monotone", name, p50, p95, p99, max)})
+		}
+	}
+	hs, okHS := r.Metric("handshake", "mean_us")
+	total, okT := r.Metric("total", "mean_us")
+	if okHS && okT && hs > total {
+		out = append(out, Violation{"load-phase-nesting",
+			fmt.Sprintf("mean handshake %.0fus exceeds mean total %.0fus", hs, total)})
+	}
+	return out
+}

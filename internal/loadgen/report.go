@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sslperf/internal/baseline"
+)
+
+// BenchName is the report's bench field; internal/baseline registers
+// the matching expectation shape under it.
+const BenchName = "load-latency"
+
+// Report renders the run as a machine-readable report in the
+// committed docs/BENCH_*.json shape: one result per phase with
+// mean/p50/p95/p99/max in microseconds, plus throughput and outcome
+// rows, so the baseline drift engine can gate load runs exactly like
+// microbenchmarks.
+func (res *Result) Report(command, note string) *baseline.Report {
+	rep := &baseline.Report{
+		Bench:   BenchName,
+		Date:    time.Now().Format("2006-01-02"),
+		Machine: baseline.Machine(),
+		Command: command,
+		Note:    note,
+		Results: map[string]*baseline.BenchResult{},
+	}
+	for _, p := range res.Phases {
+		if p.Hist.Count == 0 {
+			continue
+		}
+		rep.Results[p.Name] = &baseline.BenchResult{
+			Iterations: int64(p.Hist.Count),
+			Metrics: map[string]float64{
+				"mean_us": round1(p.Hist.Mean),
+				"p50_us":  float64(p.Hist.P50),
+				"p95_us":  float64(p.Hist.P95),
+				"p99_us":  float64(p.Hist.P99),
+				"max_us":  float64(p.Hist.Max),
+			},
+		}
+	}
+	secs := res.Elapsed.Seconds()
+	if secs > 0 {
+		rep.Results["throughput"] = &baseline.BenchResult{
+			Iterations: int64(res.Done),
+			Metrics: map[string]float64{
+				"conns/s":    round1(float64(res.Done) / secs),
+				"requests/s": round1(float64(res.Requests) / secs),
+				"MB/s":       round1(float64(res.Bytes) / 1e6 / secs),
+			},
+		}
+	}
+	rep.Results["outcomes"] = &baseline.BenchResult{
+		Iterations: int64(res.Started),
+		Metrics: map[string]float64{
+			"done":             float64(res.Done),
+			"failed":           float64(res.Failed),
+			"resumed":          float64(res.Resumed),
+			"warmup_discarded": float64(res.WarmupDiscarded),
+		},
+	}
+	return rep
+}
+
+// Text renders the run as an aligned human-readable summary.
+func (res *Result) Text() string {
+	var sb strings.Builder
+	switch res.Mode {
+	case "open":
+		fmt.Fprintf(&sb, "open loop: %.0f conns/s intended, %d in-flight cap, %v measured (+%v warmup)\n",
+			res.Rate, res.Concurrency, res.Duration, res.Warmup)
+	default:
+		fmt.Fprintf(&sb, "closed loop: %d workers, %v measured (+%v warmup)\n",
+			res.Concurrency, res.Duration, res.Warmup)
+	}
+	secs := res.Elapsed.Seconds()
+	fmt.Fprintf(&sb, "connections: %d done, %d failed, %d resumed (%d discarded in warmup)\n",
+		res.Done, res.Failed, res.Resumed, res.WarmupDiscarded)
+	if secs > 0 {
+		fmt.Fprintf(&sb, "throughput: %.1f conns/s, %.1f requests/s, %.2f MB/s\n",
+			float64(res.Done)/secs, float64(res.Requests)/secs, float64(res.Bytes)/1e6/secs)
+	}
+	fmt.Fprintf(&sb, "\n%-16s %10s %10s %10s %10s %10s %8s\n",
+		"phase", "mean", "p50", "p95", "p99", "max", "n")
+	for _, p := range res.Phases {
+		if p.Hist.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s %8d\n", p.Name,
+			usStr(p.Hist.Mean), usStr(float64(p.Hist.P50)), usStr(float64(p.Hist.P95)),
+			usStr(float64(p.Hist.P99)), usStr(float64(p.Hist.Max)), p.Hist.Count)
+	}
+	if len(res.BySuite) > 0 {
+		sb.WriteString("\nsuite mix:\n")
+		for name, n := range res.BySuite {
+			fmt.Fprintf(&sb, "  %-28s %d\n", name, n)
+		}
+	}
+	if len(res.Errors) > 0 {
+		sb.WriteString("\nerrors:\n")
+		for reason, n := range res.Errors {
+			fmt.Fprintf(&sb, "  %-40s %d\n", reason, n)
+		}
+	}
+	return sb.String()
+}
+
+// usStr renders a microsecond quantity with a unit humans can scan.
+func usStr(us float64) string {
+	d := time.Duration(us * float64(time.Microsecond))
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}

@@ -30,8 +30,8 @@ type Event struct {
 	Conn    uint64        `json:"conn"`
 	At      time.Time     `json:"at"`
 	Kind    EventKind     `json:"kind"`
-	Name    string        `json:"name,omitempty"`    // step/crypto-fn/alert name
-	Detail  string        `json:"detail,omitempty"`  // free-form context (error text, suite)
+	Name    string        `json:"name,omitempty"`   // step/crypto-fn/alert name
+	Detail  string        `json:"detail,omitempty"` // free-form context (error text, suite)
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
@@ -72,6 +72,22 @@ func (fr *FlightRecorder) Record(ev Event) {
 		fr.ring = append(fr.ring, ev)
 	} else {
 		fr.ring[ev.Seq%uint64(cap(fr.ring))] = ev
+	}
+	fr.mu.Unlock()
+}
+
+// Reset drops every retained event. The sequence counter keeps
+// running (rounded up to a ring multiple, preserving the seq%cap slot
+// invariant Record and Events rely on), so post-reset events are
+// still globally ordered against anything captured before the reset.
+func (fr *FlightRecorder) Reset() {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.ring = fr.ring[:0]
+	if c := uint64(cap(fr.ring)); c > 0 && fr.next%c != 0 {
+		fr.next += c - fr.next%c
 	}
 	fr.mu.Unlock()
 }

@@ -45,6 +45,18 @@ type Histogram struct {
 	maxNS  atomic.Int64
 }
 
+// Reset zeroes the histogram. Concurrent Observe calls may land on
+// either side of the cut; the histogram stays internally consistent
+// but the reset is not a point-in-time snapshot boundary.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNS.Store(0)
+	h.maxNS.Store(0)
+}
+
 // Observe records one measurement.
 func (h *Histogram) Observe(d time.Duration) {
 	h.counts[bucketFor(d)].Add(1)

@@ -81,6 +81,47 @@ func NewRegistrySize(events int) *Registry {
 	}
 }
 
+// Reset zeroes every metric and drops the retained flight-recorder
+// events, so a drift window can be scoped to a load run instead of
+// the process lifetime. The connection-ID sequence and the start time
+// are preserved: IDs stay unique across the reset and uptime keeps
+// meaning "since process start". Concurrent emissions may land on
+// either side of the cut.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.handshakesFull.Store(0)
+	r.handshakesResumed.Store(0)
+	r.handshakesFailed.Store(0)
+	r.recordsIn.Store(0)
+	r.recordsOut.Store(0)
+	r.bytesIn.Store(0)
+	r.bytesOut.Store(0)
+	r.alertsIn.Store(0)
+	r.alertsOut.Store(0)
+	r.fullLatency.Reset()
+	r.resumedLatency.Reset()
+	r.mu.Lock()
+	r.bySuite = make(map[string]uint64)
+	r.byVersion = make(map[string]uint64)
+	r.failReasons = make(map[string]uint64)
+	// Named histograms are reset in place, not dropped: an emitter
+	// that grabbed one before the cut keeps feeding the same (now
+	// zeroed) histogram, so no observation is lost to a stale pointer.
+	for _, h := range r.steps {
+		h.Reset()
+	}
+	for _, h := range r.timers {
+		h.Reset()
+	}
+	for _, h := range r.values {
+		h.Reset()
+	}
+	r.mu.Unlock()
+	r.recorder.Reset()
+}
+
 // Recorder exposes the flight recorder (nil on a nil registry).
 func (r *Registry) Recorder() *FlightRecorder {
 	if r == nil {

@@ -50,6 +50,18 @@ type ValueHistogram struct {
 	max    atomic.Int64
 }
 
+// Reset zeroes the histogram. Concurrent Observe calls may land on
+// either side of the cut; the histogram stays internally consistent
+// but the reset is not a point-in-time snapshot boundary.
+func (h *ValueHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
 // Observe records one value.
 func (h *ValueHistogram) Observe(v int64) {
 	h.counts[valueBucketFor(v)].Add(1)
@@ -77,6 +89,7 @@ type ValueHistogramSnapshot struct {
 	Sum     int64         `json:"sum"`
 	Mean    float64       `json:"mean"`
 	P50     int64         `json:"p50"`
+	P95     int64         `json:"p95"`
 	P99     int64         `json:"p99"`
 	Max     int64         `json:"max"`
 	Buckets []ValueBucket `json:"buckets,omitempty"`
@@ -97,6 +110,7 @@ func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
 	s.P50 = valueQuantile(&counts, s.Count, 0.50, s.Max)
+	s.P95 = valueQuantile(&counts, s.Count, 0.95, s.Max)
 	s.P99 = valueQuantile(&counts, s.Count, 0.99, s.Max)
 	for i, c := range counts {
 		if c > 0 {
@@ -118,7 +132,9 @@ func valueQuantile(counts *[valueBuckets]uint64, total uint64, q float64, max in
 	for i, c := range counts {
 		seen += c
 		if seen >= rank {
-			if b := valueBucketBound(i); b >= 0 {
+			// The bucket's upper bound can overshoot the true maximum
+			// (observations never exceed max), so clamp.
+			if b := valueBucketBound(i); b >= 0 && b < max {
 				return b
 			}
 			return max

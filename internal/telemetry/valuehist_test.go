@@ -26,9 +26,10 @@ func TestValueHistogramSingleSample(t *testing.T) {
 	if s.Count != 1 || s.Sum != 5 || s.Max != 5 || s.Mean != 5 {
 		t.Fatalf("snapshot = %+v", s)
 	}
-	// One sample defines every quantile: 5 ∈ (4, 8] → bound 8.
-	if s.P50 != 8 || s.P99 != 8 {
-		t.Fatalf("quantiles = p50 %d, p99 %d, want 8/8", s.P50, s.P99)
+	// One sample defines every quantile; the bucket bound (8) is
+	// clamped to the observed max.
+	if s.P50 != 5 || s.P99 != 5 {
+		t.Fatalf("quantiles = p50 %d, p99 %d, want 5/5", s.P50, s.P99)
 	}
 	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != 8 || s.Buckets[0].Count != 1 {
 		t.Fatalf("buckets = %+v", s.Buckets)

@@ -7,15 +7,28 @@ import (
 
 // Register mounts the tracing endpoints on mux:
 //
-//	/debug/trace    Chrome trace-event JSON of the retained sampled
-//	                traces plus engine spans — load it in
-//	                chrome://tracing or https://ui.perfetto.dev
-//	                (?format=raw for the raw span structures)
-//	/debug/anatomy  the continuous Tables 2/3 folded from sampled
-//	                traffic: per-step cycles, crypto attribution, and
-//	                p50/p95/p99 step latency
-//	                (JSON; ?format=text for aligned tables)
+//	/debug/trace          Chrome trace-event JSON of the retained
+//	                      sampled traces plus engine spans — load it
+//	                      in chrome://tracing or
+//	                      https://ui.perfetto.dev
+//	                      (?format=raw for the raw span structures)
+//	/debug/anatomy        the continuous Tables 2/3 folded from
+//	                      sampled traffic: per-step cycles, crypto
+//	                      attribution, and p50/p95/p99 step latency
+//	                      (JSON; ?format=text for aligned tables)
+//	/debug/anatomy/reset  POST-only: zero the anatomy profiler so the
+//	                      next snapshot covers only traffic from the
+//	                      reset on — the hook load runs use to scope a
+//	                      drift window to themselves
 func Register(mux *http.ServeMux, t *Tracer) {
+	RegisterWithReset(mux, t, nil)
+}
+
+// RegisterWithReset is Register with an extra hook run by
+// /debug/anatomy/reset after the profiler is zeroed — the server
+// passes its telemetry registry's Reset so one POST scopes both the
+// live anatomy and the metric counters to the window that follows.
+func RegisterWithReset(mux *http.ServeMux, t *Tracer, onReset func()) {
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "raw" {
 			w.Header().Set("Content-Type", "application/json")
@@ -50,6 +63,19 @@ func Register(mux *http.ServeMux, t *Tracer) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
+	})
+	mux.HandleFunc("/debug/anatomy/reset", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		t.Profiler().Reset()
+		if onReset != nil {
+			onReset()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("reset\n"))
 	})
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -60,6 +61,48 @@ func TestDebugTraceRawFormat(t *testing.T) {
 	}
 	if raw.Traces[0].Spans[0].Name != "init" {
 		t.Fatalf("span = %+v", raw.Traces[0].Spans[0])
+	}
+}
+
+func TestDebugAnatomyReset(t *testing.T) {
+	tr := tracerWithOneTrace(t)
+	if s := tr.Profiler().Snapshot(); s.Handshakes != 1 {
+		t.Fatalf("pre-reset snapshot = %+v", s)
+	}
+
+	// GET must not reset.
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/anatomy/reset", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET reset: %d, want 405", rec.Code)
+	}
+	if s := tr.Profiler().Snapshot(); s.Handshakes != 1 {
+		t.Fatal("GET reset the profiler")
+	}
+
+	hookRan := false
+	mux := http.NewServeMux()
+	RegisterWithReset(mux, tr, func() { hookRan = true })
+	h := httptest.NewRecorder()
+	mux.ServeHTTP(h, httptest.NewRequest("POST", "/debug/anatomy/reset", nil))
+	if h.Code != 200 {
+		t.Fatalf("POST reset: %d", h.Code)
+	}
+	if !hookRan {
+		t.Fatal("onReset hook did not run")
+	}
+	s := tr.Profiler().Snapshot()
+	if s.Handshakes != 0 || s.Traces != 0 || len(s.Steps) != 0 {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+
+	// The profiler keeps folding after the reset.
+	ct := tr.ConnBegin(2, "server")
+	sp := ct.Begin("init", CatStep, 0)
+	ct.End(sp, time.Millisecond)
+	ct.Finish("ok")
+	if s := tr.Profiler().Snapshot(); s.Handshakes != 1 {
+		t.Fatalf("post-reset fold lost: %+v", s)
 	}
 }
 

@@ -114,6 +114,25 @@ func NewProfiler() *Profiler {
 	}
 }
 
+// Reset drops everything the profiler has folded so far, so a drift
+// window (e.g. one load-generator run) can be measured from a clean
+// slate instead of the process lifetime. Traces finishing concurrently
+// fold entirely before or entirely after the cut.
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.traces = 0
+	p.handshakes = 0
+	p.stepOrder = nil
+	p.steps = make(map[string]*stepStat)
+	p.fnOrder = nil
+	p.fns = make(map[string]*cryptoStat)
+	p.stepTotal = 0
+	p.mu.Unlock()
+}
+
 // fold merges one completed trace. Step spans feed the per-step
 // histograms; crypto and record spans feed the function attribution.
 func (p *Profiler) fold(td *TraceData) {
