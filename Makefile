@@ -4,7 +4,7 @@
 GO ?= go
 HISTDIR ?= bench_history
 
-.PHONY: all build vet test race check loadsmoke checkdrift bench repro results examples clean
+.PHONY: all build vet test race check clocklint loadsmoke checkdrift bench repro results examples clean
 
 all: build vet test
 
@@ -24,17 +24,32 @@ race:
 	$(GO) test -race ./...
 
 # CI gate: static checks plus the race detector on the packages that
-# live connections emit through concurrently: telemetry, the span
-# tracer, the record layer, the batch-RSA engine, the handshake
-# session cache, perf (whose model-GHz setting is now shared mutable
-# state), and the new load generator + drift engine — then a real
-# end-to-end smoke through sslload's in-process server.
+# live connections emit through concurrently: the probe spine and its
+# sink adapters (telemetry, the span tracer), the record layer, the
+# batch-RSA and accel engines, the handshake session cache, perf
+# (whose model-GHz setting is shared mutable state), and the load
+# generator + drift engine — then a real end-to-end smoke through
+# sslload's in-process server.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry/... ./internal/trace/... ./internal/ssl/... \
-		./internal/record/... ./internal/rsabatch/... ./internal/handshake/... \
-		./internal/perf/... ./internal/loadgen/... ./internal/baseline/...
+	$(MAKE) clocklint
+	$(GO) test -race ./internal/probe/... ./internal/telemetry/... ./internal/trace/... \
+		./internal/ssl/... ./internal/record/... ./internal/rsabatch/... \
+		./internal/handshake/... ./internal/accel/... ./internal/perf/... \
+		./internal/loadgen/... ./internal/baseline/...
 	$(MAKE) loadsmoke
+
+# The spine owns every clock read on the handshake and record hot
+# paths (one stamp per event, sinks never re-stamp). Direct time.Now
+# calls there bypass the nil-bus fast path; the rare legitimate one
+# (config defaults) carries a "lint:allow-clock" marker.
+clocklint:
+	@bad=$$(grep -n 'time\.Now()' internal/handshake/*.go internal/record/*.go \
+		| grep -v _test.go | grep -v 'lint:allow-clock'; exit 0); \
+	if [ -n "$$bad" ]; then \
+		echo "clocklint: direct clock reads on the probe-spine hot path (mark intentional ones with // lint:allow-clock):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # End-to-end smoke: sslload drives an in-process sslserver open-loop
 # for 5s and gates its own report through the load-latency shape
@@ -69,6 +84,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'BenchmarkHandshakeTrace(Off|Sampled16|Always)' \
 		-count 3 -name trace-overhead -out docs/BENCH_trace.json \
 		-note "Span-tracing overhead on the full-handshake benchmark: Off is the nil-tracer baseline (one pointer test per hook), Sampled16 the documented 1-in-16 production setting, Always the worst case where every handshake records ~40 spans and folds into the live anatomy profiler."
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'BenchmarkHandshakeProbe(Off|Sampled16|All)' \
+		-count 3 -name probe-overhead -out docs/BENCH_probe.json \
+		-note "Probe-spine fan-out cost on the full-handshake benchmark: Off is the sink-free nil-bus path (one pointer test per hook, zero allocations), Sampled16 the production 1-in-16 trace sampling, All the worst case with every sink adapter attached — anatomy fold + telemetry counters + always-on span building riding one event stream."
 
 # Regenerate every table and figure of the paper (plus the ablations).
 repro:

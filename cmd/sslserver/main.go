@@ -21,6 +21,7 @@ import (
 
 	"sslperf/internal/baseline"
 	"sslperf/internal/handshake"
+	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/rsabatch"
@@ -63,47 +64,18 @@ func main() {
 		seedVal = uint64(time.Now().UnixNano())
 	}
 
-	var tracer *trace.Tracer
-	if *traceEvery > 0 {
-		tracer = trace.NewTracer(trace.Config{
-			SampleEvery: *traceEvery,
-			MaxPerSec:   *traceRate,
-		})
-	}
-
-	var reg *telemetry.Registry
-	if *telAddr != "" {
-		reg = telemetry.NewRegistrySize(*flightRec)
-		mux := http.NewServeMux()
-		telemetry.Register(mux, reg)
-		if tracer != nil {
-			// POST /debug/anatomy/reset clears the profiler and the
-			// metrics registry together, so "warm up, reset, measure"
-			// runs read clean numbers on both surfaces.
-			trace.RegisterWithReset(mux, tracer, reg.Reset)
-			baseline.RegisterHealth(mux, tracer.Profiler().Snapshot, baseline.PaperExpectation())
-		}
-		if *pprofOn {
-			mux.HandleFunc("/debug/pprof/", pprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		}
-		go func() {
-			log.Printf("telemetry on http://%s/metrics", *telAddr)
-			if err := http.ListenAndServe(*telAddr, mux); err != nil {
-				log.Printf("telemetry server: %v", err)
-			}
-		}()
-	} else if tracer != nil || *pprofOn {
-		log.Printf("warning: -trace/-pprof need -telemetry to be served; enabling tracing without an endpoint")
-	}
+	obs := buildProbes(probeFlags{
+		TelemetryAddr:  *telAddr,
+		FlightRecorder: *flightRec,
+		TraceEvery:     *traceEvery,
+		TraceRate:      *traceRate,
+		Pprof:          *pprofOn,
+	})
 
 	srv := &server{
 		cache:     handshake.NewSessionCache(4096),
-		telemetry: reg,
-		tracer:    tracer,
+		telemetry: obs.reg,
+		tracer:    obs.tracer,
 		seed:      seedVal,
 	}
 	if *suiteName != "" {
@@ -139,8 +111,7 @@ func main() {
 			Linger:    *rsaLinger,
 			Workers:   *rsaWorkers,
 			Rand:      ssl.NewPRNG(seedVal + 2),
-			Telemetry: reg,
-			Tracer:    tracer,
+			Probes:    obs.engineSinks(),
 		})
 		srv.keys = ks.Keys
 		log.Printf("batch RSA engine: width %d, linger %v, %d workers",
@@ -168,6 +139,73 @@ func main() {
 		}
 		go srv.serve(tc, payload)
 	}
+}
+
+// probeFlags carries the observability flag values into buildProbes.
+type probeFlags struct {
+	TelemetryAddr  string
+	FlightRecorder int
+	TraceEvery     int
+	TraceRate      int
+	Pprof          bool
+}
+
+// observers is everything buildProbes wires up: the metrics registry
+// and span tracer the per-connection configs subscribe, plus the
+// engine sinks background engines (batch RSA) emit into.
+type observers struct {
+	reg    *telemetry.Registry
+	tracer *trace.Tracer
+}
+
+// engineSinks returns the probe sinks an engine should fan out to —
+// the spine-facing equivalent of passing Telemetry/Tracer directly.
+func (o *observers) engineSinks() []probe.Sink {
+	return []probe.Sink{telemetry.EngineSink(o.reg), trace.EngineSink(o.tracer)}
+}
+
+// buildProbes is the single place the -telemetry/-trace/-pprof flag
+// cluster turns into live observers: it builds the tracer and
+// registry, mounts /metrics, /debug/flightrecorder, /debug/trace,
+// /debug/anatomy, /debug/health, and pprof on one mux, and serves it.
+func buildProbes(f probeFlags) *observers {
+	o := &observers{}
+	if f.TraceEvery > 0 {
+		o.tracer = trace.NewTracer(trace.Config{
+			SampleEvery: f.TraceEvery,
+			MaxPerSec:   f.TraceRate,
+		})
+	}
+	if f.TelemetryAddr == "" {
+		if o.tracer != nil || f.Pprof {
+			log.Printf("warning: -trace/-pprof need -telemetry to be served; enabling tracing without an endpoint")
+		}
+		return o
+	}
+	o.reg = telemetry.NewRegistrySize(f.FlightRecorder)
+	mux := http.NewServeMux()
+	telemetry.Register(mux, o.reg)
+	if o.tracer != nil {
+		// POST /debug/anatomy/reset clears the profiler and the
+		// metrics registry together, so "warm up, reset, measure"
+		// runs read clean numbers on both surfaces.
+		trace.RegisterWithReset(mux, o.tracer, o.reg.Reset)
+		baseline.RegisterHealth(mux, o.tracer.Profiler().Snapshot, baseline.PaperExpectation())
+	}
+	if f.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	go func() {
+		log.Printf("telemetry on http://%s/metrics", f.TelemetryAddr)
+		if err := http.ListenAndServe(f.TelemetryAddr, mux); err != nil {
+			log.Printf("telemetry server: %v", err)
+		}
+	}()
+	return o
 }
 
 // server holds the shared state every connection config draws from.

@@ -6,6 +6,7 @@ import (
 	"sslperf/internal/aes"
 	"sslperf/internal/cbc"
 	"sslperf/internal/perf"
+	"sslperf/internal/probe"
 	"sslperf/internal/sslcrypto"
 )
 
@@ -22,11 +23,26 @@ type Engine struct {
 	mac *sslcrypto.MAC
 	seq uint64
 
+	// Probe, when non-nil, receives "mac" and "aes" engine-timer
+	// events from the pipelined path. The hashing unit emits from its
+	// own goroutine, concurrent with the cipher unit, so attached
+	// sinks must tolerate concurrent Emit calls (SharedBreakdown
+	// does).
+	Probe *probe.Bus
+
 	// Perf, when non-nil, receives "mac" and "aes" time attributions
 	// from the pipelined path. It must be a SharedBreakdown (not a
 	// plain Breakdown) because the hashing unit runs on its own
 	// goroutine, concurrent with the cipher unit.
+	//
+	// Deprecated: a shim — the breakdown is wrapped as a sink on the
+	// engine's probe bus; prefer setting Probe directly.
 	Perf *perf.SharedBreakdown
+
+	// perfBus caches the bus wrapping Perf so the pipelined path
+	// resolves its emission target once per fragment.
+	perfBus *probe.Bus
+	perfFor *perf.SharedBreakdown
 }
 
 // NewEngine builds an engine with an AES key, CBC IV, and a MAC
@@ -81,9 +97,13 @@ func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	macCh := make(chan []byte, 1)
 	seq := e.seq
 	e.seq++
+	// Resolve the bus once, on the caller's goroutine, before the
+	// hashing unit forks; the bus itself is stateless on this path so
+	// both units can emit through it concurrently.
+	bus := e.unitBus()
 	go func() {
 		var mac []byte
-		e.Perf.Time("mac", func() { mac = e.mac.Compute(seq, 23, data) })
+		bus.Timed("mac", func() { mac = e.mac.Compute(seq, 23, data) })
 		macCh <- mac
 	}()
 
@@ -98,14 +118,30 @@ func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	}
 	// Encrypt the whole data blocks now, in parallel with the MAC.
 	whole := len(data) / bs * bs
-	e.Perf.Time("aes", func() { enc.CryptBlocks(frag[:whole], frag[:whole]) })
+	bus.Timed("aes", func() { enc.CryptBlocks(frag[:whole], frag[:whole]) })
 
 	// Join: place MAC and padding, then encrypt the tail.
 	mac := <-macCh
 	copy(frag[len(data):], mac)
 	frag[n-1] = byte(n - len(data) - macLen - 1)
-	e.Perf.Time("aes", func() { enc.CryptBlocks(frag[whole:], frag[whole:]) })
+	bus.Timed("aes", func() { enc.CryptBlocks(frag[whole:], frag[whole:]) })
 	return frag, nil
+}
+
+// unitBus returns the engine's emission target: the explicit Probe
+// bus when set, else a cached bus wrapping the deprecated Perf
+// breakdown, else nil (the no-op bus).
+func (e *Engine) unitBus() *probe.Bus {
+	if e.Probe != nil {
+		return e.Probe
+	}
+	if e.Perf == nil {
+		return nil
+	}
+	if e.perfBus == nil || e.perfFor != e.Perf {
+		e.perfBus, e.perfFor = probe.NewBus(e.Perf), e.Perf
+	}
+	return e.perfBus
 }
 
 // Reset rewinds the sequence number (so serial and pipelined runs of

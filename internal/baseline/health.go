@@ -7,7 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"sslperf/internal/handshake"
+	"sslperf/internal/probe"
 	"sslperf/internal/trace"
 )
 
@@ -55,10 +55,10 @@ type AnatomyExpectation struct {
 func PaperExpectation() AnatomyExpectation {
 	return AnatomyExpectation{
 		MinHandshakes:          8,
-		DominantStep:           "get_client_kx",
+		DominantStep:           probe.StepGetClientKX.Name(),
 		MinDominantStepPct:     50,
 		MinCryptoPct:           60,
-		DominantCategory:       handshake.CategoryPublic,
+		DominantCategory:       probe.CategoryPublic,
 		MinDominantCategoryPct: 50,
 	}
 }

@@ -28,6 +28,8 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 		return checkRecordShape(r), true
 	case "trace-overhead":
 		return checkTraceShape(r), true
+	case "probe-overhead":
+		return checkProbeShape(r), true
 	case "load-latency":
 		return checkLoadShape(r), true
 	}
@@ -117,6 +119,28 @@ func checkTraceShape(r *Report) []Violation {
 	if v, ok := r.Metric("HandshakeTraceAlways", "ns/op"); ok && v > 2*off {
 		out = append(out, Violation{"trace-always-overhead",
 			fmt.Sprintf("always-on tracing ns/op %.0f is %.2fx the untraced %.0f, want <= 2x", v, v/off, off)})
+	}
+	return out
+}
+
+// checkProbeShape bounds the probe spine's fan-out cost against the
+// sink-free fast path: production 1-in-16 sampling must stay
+// marginal, and even all three sinks (anatomy + telemetry + trace)
+// must cost no more than the pre-spine always-on tracing ceiling.
+func checkProbeShape(r *Report) []Violation {
+	var out []Violation
+	off, ok := r.Metric("HandshakeProbeOff", "ns/op")
+	if !ok || off <= 0 {
+		return []Violation{{"probe-baseline", "HandshakeProbeOff has no ns/op metric"}}
+	}
+	if v, ok := r.Metric("HandshakeProbeSampled16", "ns/op"); ok && v > 1.25*off {
+		out = append(out, Violation{"probe-sampled-overhead",
+			fmt.Sprintf("1-in-16 sampled sinks ns/op %.0f is %.1f%% over the sink-free %.0f, want <= 25%%",
+				v, 100*(v-off)/off, off)})
+	}
+	if v, ok := r.Metric("HandshakeProbeAll", "ns/op"); ok && v > 1.5*off {
+		out = append(out, Violation{"probe-all-overhead",
+			fmt.Sprintf("all-sinks ns/op %.0f is %.2fx the sink-free %.0f, want <= 1.5x", v, v/off, off)})
 	}
 	return out
 }

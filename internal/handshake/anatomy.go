@@ -4,27 +4,42 @@ import (
 	"time"
 
 	"sslperf/internal/perf"
+	"sslperf/internal/probe"
 )
 
 // Crypto function names used in step attributions, matching the
-// OpenSSL symbols of the paper's Table 2.
+// OpenSSL symbols of the paper's Table 2. The canonical definitions
+// live in internal/probe (the instrumentation spine); these aliases
+// keep the handshake-level API stable.
 const (
-	FnInitFinishedMac   = "init_finished_mac"
-	FnRandPseudoBytes   = "rand_pseudo_bytes"
-	FnFinishMac         = "finish_mac"
-	FnX509              = "X509 functions"
-	FnRSAPrivateDecrypt = "rsa_private_decryption"
-	FnGenMasterSecret   = "gen_master_secret"
-	FnGenKeyBlock       = "gen_key_block"
-	FnFinalFinishMac    = "final_finish_mac"
-	FnPriDecryption     = "pri_decryption"
-	FnMac               = "mac"
-	FnPriEncryption     = "pri_encryption"
+	FnInitFinishedMac   = probe.FnInitFinishedMac
+	FnRandPseudoBytes   = probe.FnRandPseudoBytes
+	FnFinishMac         = probe.FnFinishMac
+	FnX509              = probe.FnX509
+	FnRSAPrivateDecrypt = probe.FnRSAPrivateDecrypt
+	FnGenMasterSecret   = probe.FnGenMasterSecret
+	FnGenKeyBlock       = probe.FnGenKeyBlock
+	FnFinalFinishMac    = probe.FnFinalFinishMac
+	FnPriDecryption     = probe.FnPriDecryption
+	FnMac               = probe.FnMac
+	FnPriEncryption     = probe.FnPriEncryption
 	// DHE-suite functions (ServerKeyExchange path).
-	FnDHGenerateKey = "dh_generate_key"
-	FnRSASign       = "rsa_sign"
-	FnDHComputeKey  = "dh_compute_key"
+	FnDHGenerateKey = probe.FnDHGenerateKey
+	FnRSASign       = probe.FnRSASign
+	FnDHComputeKey  = probe.FnDHComputeKey
 )
+
+// Crypto-operation categories for Table 3 (canonical in probe).
+const (
+	CategoryPublic  = probe.CategoryPublic
+	CategoryPrivate = probe.CategoryPrivate
+	CategoryHash    = probe.CategoryHash
+	CategoryOther   = probe.CategoryOther
+)
+
+// CategoryOf maps a crypto function name (the Fn* constants) onto its
+// Table 3 category.
+func CategoryOf(fn string) string { return probe.CategoryOf(fn) }
 
 // A CryptoCall is one attributed crypto operation inside a step.
 type CryptoCall struct {
@@ -53,9 +68,11 @@ func (s *Step) CryptoTotal() time.Duration {
 
 // A StepObserver streams step boundaries and crypto calls as the
 // handshake FSM crosses them — the live counterpart of the recorded
-// Steps slice, used by the telemetry flight recorder. A step that is
-// suspended and resumed around I/O waits reports StepEnd once per
-// close with its cumulative elapsed time.
+// Steps slice.
+//
+// Deprecated: observers are a shim over the probe spine. New code
+// should implement probe.Sink and subscribe via ssl.Config.Probes;
+// an Anatomy with a non-nil Observer forwards each event it folds.
 type StepObserver interface {
 	StepStart(index int, name, desc string)
 	StepEnd(index int, name string, elapsed time.Duration)
@@ -63,83 +80,70 @@ type StepObserver interface {
 }
 
 // An Anatomy records the per-step, per-crypto-call timing of one
-// server handshake. A nil *Anatomy is a valid no-op recorder, so the
-// fast path costs one pointer test per hook.
+// server handshake — the probe sink that folds the event spine into
+// Table 2 rows. Attach it with ssl.Conn.SetAnatomy (or pass it to
+// Server); it receives step boundaries, attributed crypto calls, and
+// the record-layer work of the encrypted finished messages. A nil
+// *Anatomy is a valid no-op sink.
 type Anatomy struct {
 	Steps []Step
 
-	// Observer, when non-nil, receives each step boundary and crypto
-	// call as it happens. Set it before the handshake starts.
+	// Observer, when non-nil, receives each folded event.
+	//
+	// Deprecated: kept for callers of the pre-spine API; prefer a
+	// probe.Sink of your own next to the Anatomy.
 	Observer StepObserver
-
-	stepStart time.Time
-	open      bool
 }
 
 // NewAnatomy returns an empty recorder.
 func NewAnatomy() *Anatomy { return &Anatomy{} }
 
-// startStep begins timing a step.
-func (a *Anatomy) startStep(index int, name, desc string) {
+// Emit implements probe.Sink: step boundaries append and close Steps,
+// crypto events append attributed calls, and record-layer crypto
+// inside a step lands on the paper's pri_encryption/pri_decryption/
+// mac rows. Record work outside any step (bulk transfer) is ignored —
+// Table 2 covers the handshake only.
+func (a *Anatomy) Emit(e probe.Event) {
 	if a == nil {
 		return
 	}
-	a.endStep()
-	a.Steps = append(a.Steps, Step{Index: index, Name: name, Desc: desc})
-	if a.Observer != nil {
-		a.Observer.StepStart(index, name, desc)
+	switch e.Kind {
+	case probe.KindStepEnter:
+		a.Steps = append(a.Steps, Step{
+			Index: e.Step.Index(), Name: e.Step.Name(), Desc: e.Step.Desc(),
+		})
+		if a.Observer != nil {
+			a.Observer.StepStart(e.Step.Index(), e.Step.Name(), e.Step.Desc())
+		}
+	case probe.KindStepExit:
+		if len(a.Steps) == 0 {
+			return
+		}
+		cur := &a.Steps[len(a.Steps)-1]
+		cur.Elapsed += e.Dur
+		if a.Observer != nil {
+			a.Observer.StepEnd(cur.Index, cur.Name, cur.Elapsed)
+		}
+	case probe.KindCrypto:
+		a.addCrypto(e.Fn, e.Dur)
+	case probe.KindRecordCrypto:
+		if e.Step == probe.StepNone {
+			return
+		}
+		a.addCrypto(e.Op.StepFn(), e.Dur)
 	}
-	a.stepStart = time.Now()
-	a.open = true
 }
 
-// endStep closes the current step, accumulating its wall time.
-func (a *Anatomy) endStep() {
-	if a == nil || !a.open {
+// addCrypto attributes one timed crypto call to the current step.
+func (a *Anatomy) addCrypto(fn string, d time.Duration) {
+	if len(a.Steps) == 0 {
 		return
 	}
 	cur := &a.Steps[len(a.Steps)-1]
-	cur.Elapsed += time.Since(a.stepStart)
-	a.open = false
+	cur.Crypto = append(cur.Crypto, CryptoCall{Name: fn, Elapsed: d})
 	if a.Observer != nil {
-		a.Observer.StepEnd(cur.Index, cur.Name, cur.Elapsed)
+		a.Observer.CryptoCall(cur.Name, fn, d)
 	}
-}
-
-// resumeStep continues timing the most recent step (used when a step
-// is interleaved with I/O waits that should not be charged).
-func (a *Anatomy) resumeStep() {
-	if a == nil || a.open || len(a.Steps) == 0 {
-		return
-	}
-	a.stepStart = time.Now()
-	a.open = true
-}
-
-// crypto times fn and attributes it to the named crypto function
-// within the current step.
-func (a *Anatomy) crypto(name string, fn func()) {
-	if a == nil {
-		fn()
-		return
-	}
-	start := time.Now()
-	fn()
-	d := time.Since(start)
-	if len(a.Steps) > 0 {
-		cur := &a.Steps[len(a.Steps)-1]
-		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
-		if a.Observer != nil {
-			a.Observer.CryptoCall(cur.Name, name, d)
-		}
-	}
-}
-
-// cryptoErr is crypto for functions that can fail.
-func (a *Anatomy) cryptoErr(name string, fn func() error) error {
-	var err error
-	a.crypto(name, func() { err = fn() })
-	return err
 }
 
 // Total returns the summed step latency.
@@ -168,32 +172,6 @@ func (a *Anatomy) CryptoBreakdown() *perf.Breakdown {
 		}
 	}
 	return b
-}
-
-// Crypto-operation categories for Table 3.
-const (
-	CategoryPublic  = "public key encryption"
-	CategoryPrivate = "private key encryption"
-	CategoryHash    = "hash functions"
-	CategoryOther   = "other functions"
-)
-
-// CategoryOf maps a crypto function name (the Fn* constants) onto its
-// Table 3 category. Live consumers — the telemetry renderers and the
-// trace package's anatomy profiler — share this mapping so offline and
-// continuous attributions agree.
-func CategoryOf(fn string) string {
-	switch fn {
-	case FnRSAPrivateDecrypt, FnRSASign, FnDHGenerateKey, FnDHComputeKey:
-		return CategoryPublic
-	case FnPriDecryption, FnPriEncryption:
-		return CategoryPrivate
-	case FnFinishMac, FnFinalFinishMac, FnMac, FnGenMasterSecret,
-		FnGenKeyBlock, FnInitFinishedMac:
-		return CategoryHash
-	default:
-		return CategoryOther
-	}
 }
 
 // CryptoTotal sums all crypto-call time across steps.

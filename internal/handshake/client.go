@@ -52,7 +52,7 @@ func (c *ClientConfig) now() time.Time {
 	if c.Time != nil {
 		return c.Time()
 	}
-	return time.Now()
+	return time.Now() // lint:allow-clock — config default, not a hot-path stamp
 }
 
 func (c *ClientConfig) offered() []suite.ID {

@@ -2,6 +2,7 @@ package handshake
 
 import (
 	"bytes"
+	"sslperf/internal/probe"
 	"testing"
 	"time"
 
@@ -189,26 +190,34 @@ func TestSessionCacheIgnoresNil(t *testing.T) {
 }
 
 func TestAnatomyNilSafe(t *testing.T) {
+	// A typed-nil *Anatomy is a valid no-op sink: a bus holding one
+	// must deliver every event kind without panicking.
 	var a *Anatomy
-	a.startStep(0, "x", "y") // must not panic
-	a.crypto("f", func() {})
-	a.endStep()
-	a.resumeStep()
-	if err := a.cryptoErr("g", func() error { return nil }); err != nil {
+	bus := probe.NewBus(a)
+	bus.StepEnter(probe.StepInit)
+	bus.Crypto("f", func() {})
+	bus.StepExit()
+	if err := bus.CryptoErr("g", func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
+	bus.RecordCrypto(probe.OpMACCompute, 1, bus.Stamp())
+	bus.RecordIO(true, false, 1)
 }
 
 func TestAnatomyStepAccounting(t *testing.T) {
 	a := NewAnatomy()
-	a.startStep(0, "first", "")
-	a.crypto("op_a", func() { time.Sleep(2 * time.Millisecond) })
-	a.endStep()
-	a.startStep(1, "second", "")
-	a.crypto("op_b", func() { time.Sleep(time.Millisecond) })
-	a.endStep()
+	bus := probe.NewBus(a)
+	bus.StepEnter(probe.StepInit)
+	bus.Crypto("op_a", func() { time.Sleep(2 * time.Millisecond) })
+	bus.StepExit()
+	bus.StepEnter(probe.StepGetClientHello)
+	bus.Crypto("op_b", func() { time.Sleep(time.Millisecond) })
+	bus.StepExit()
 	if len(a.Steps) != 2 {
 		t.Fatalf("steps = %d", len(a.Steps))
+	}
+	if a.Steps[0].Name != probe.StepInit.Name() || a.Steps[1].Index != 1 {
+		t.Fatalf("step identity = %+v", a.Steps)
 	}
 	if a.Steps[0].Elapsed < 2*time.Millisecond {
 		t.Fatal("step time too small")
@@ -244,9 +253,10 @@ func TestAnatomyCategoryMapping(t *testing.T) {
 
 func TestAnatomyBreakdownOrder(t *testing.T) {
 	a := NewAnatomy()
-	a.startStep(0, "s", "")
-	a.crypto(FnRSAPrivateDecrypt, func() { time.Sleep(time.Millisecond) })
-	a.endStep()
+	bus := probe.NewBus(a)
+	bus.StepEnter(probe.StepGetClientKX)
+	bus.Crypto(FnRSAPrivateDecrypt, func() { time.Sleep(time.Millisecond) })
+	bus.StepExit()
 	b := a.CryptoBreakdown()
 	names := b.Names()
 	want := []string{CategoryPublic, CategoryPrivate, CategoryHash, CategoryOther}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sslperf/internal/dh"
+	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/sslcrypto"
@@ -36,6 +37,11 @@ type ServerConfig struct {
 	// MaxVersion caps the negotiated protocol version; 0 means
 	// TLS 1.0 (the server speaks both SSL 3.0 and TLS 1.0).
 	MaxVersion uint16
+	// Probe, when non-nil, is the instrumentation bus the handshake
+	// emits step/crypto events on. The ssl package passes the
+	// connection's bus (already carrying its sinks); direct callers
+	// can pass their own or rely on the a parameter of Server.
+	Probe *probe.Bus
 }
 
 func (c *ServerConfig) maxVersion() uint16 {
@@ -56,7 +62,7 @@ func (c *ServerConfig) now() time.Time {
 	if c.Time != nil {
 		return c.Time()
 	}
-	return time.Now()
+	return time.Now() // lint:allow-clock — config default, not a hot-path stamp
 }
 
 // Result reports the outcome of a completed handshake.
@@ -68,7 +74,12 @@ type Result struct {
 
 // Server runs the server side of the SSLv3 handshake over l, leaving
 // l armed with the negotiated bulk cipher in both directions. When a
-// is non-nil it records the Table 2 step/crypto anatomy.
+// is non-nil it records the Table 2 step/crypto anatomy (it joins
+// cfg.Probe's sinks, if any). The layer's probe bus is pointed at the
+// same bus when not already set, so the record-layer work of the
+// encrypted finished messages lands on the same spine; it stays
+// attached after the handshake (bulk-phase events carry StepNone and
+// the anatomy ignores them).
 func Server(l *record.Layer, cfg *ServerConfig, a *Anatomy) (*Result, error) {
 	if (cfg.Key == nil && cfg.Decrypter == nil) || len(cfg.CertDER) == 0 {
 		return nil, errors.New("handshake: server needs a key and certificate")
@@ -76,7 +87,14 @@ func Server(l *record.Layer, cfg *ServerConfig, a *Anatomy) (*Result, error) {
 	if cfg.Rand == nil {
 		return nil, errors.New("handshake: server needs a randomness source")
 	}
-	s := &serverState{layer: l, cfg: cfg, a: a, msgs: newMsgReader(l)}
+	bus := cfg.Probe
+	if a != nil {
+		bus = bus.With(a)
+	}
+	if l.Probe == nil || l.Probe == cfg.Probe {
+		l.Probe = bus
+	}
+	s := &serverState{layer: l, cfg: cfg, bus: bus, msgs: newMsgReader(l)}
 	res, err := s.run()
 	if err != nil {
 		// Best effort: tell the peer before failing.
@@ -89,7 +107,7 @@ func Server(l *record.Layer, cfg *ServerConfig, a *Anatomy) (*Result, error) {
 type serverState struct {
 	layer *record.Layer
 	cfg   *ServerConfig
-	a     *Anatomy
+	bus   *probe.Bus
 	msgs  *msgReader
 
 	fin          *sslcrypto.FinishedHash
@@ -133,26 +151,26 @@ func (s *serverState) buildCipherStates() error {
 func (s *serverState) run() (*Result, error) {
 	// Step 0: init — internal data structures and the transcript
 	// hashes (init_finished_mac).
-	s.a.startStep(0, "init", "initialize states and variables")
-	s.a.crypto(FnInitFinishedMac, func() { s.fin = sslcrypto.NewFinishedHash() })
-	s.a.endStep()
+	s.bus.StepEnter(probe.StepInit)
+	s.bus.Crypto(FnInitFinishedMac, func() { s.fin = sslcrypto.NewFinishedHash() })
+	s.bus.StepExit()
 
 	// Step 1: get_client_hello — check version, get client random and
 	// session-id, choose a cipher, generate a new session id.
-	s.a.startStep(1, "get_client_hello", "check version, get client random, choose cipher")
+	s.bus.StepEnter(probe.StepGetClientHello)
 	if err := s.getClientHello(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return nil, err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	// Step 2: send_server_hello.
-	s.a.startStep(2, "send_server_hello", "generate server random, send server hello")
+	s.bus.StepEnter(probe.StepSendServerHello)
 	if err := s.sendServerHello(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return nil, err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	if s.resumed {
 		if err := s.runResumed(); err != nil {
@@ -165,7 +183,7 @@ func (s *serverState) run() (*Result, error) {
 	}
 
 	// Step 9: server_flush — scrub and cache.
-	s.a.startStep(9, "server_flush", "check state; flush internal buffers; end")
+	s.bus.StepEnter(probe.StepServerFlush)
 	if s.cfg.Cache != nil && len(s.sessionID) > 0 {
 		s.cfg.Cache.Put(&Session{
 			ID:      append([]byte(nil), s.sessionID...),
@@ -174,7 +192,7 @@ func (s *serverState) run() (*Result, error) {
 			Version: s.version,
 		})
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	return &Result{
 		Suite:   s.suite,
@@ -193,102 +211,102 @@ func (s *serverState) runFull() error {
 	// the paper: the certificate's RSA key does the key exchange and
 	// clients are not authenticated. DHE suites send the signed
 	// ephemeral parameters right after the certificate.)
-	s.a.startStep(3, "send_server_cert", "send server certificate")
+	s.bus.StepEnter(probe.StepSendServerCert)
 	if err := s.sendCertificate(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	if s.suite.Kx == suite.KxDHERSA {
-		s.a.startStep(3, "send_server_kx", "generate ephemeral DH key, sign params, send")
+		s.bus.StepEnter(probe.StepSendServerKX)
 		if err := s.sendServerKeyExchange(); err != nil {
-			s.a.endStep()
+			s.bus.StepExit()
 			return err
 		}
-		s.a.endStep()
+		s.bus.StepExit()
 	}
 
 	// Step 4: send_server_done + buffer control.
-	s.a.startStep(4, "send_server_done", "send server done, flush, check client hello")
+	s.bus.StepEnter(probe.StepSendServerDone)
 	done := serverHelloDone()
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(done) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(done) })
 	if err := s.layer.WriteRecord(record.TypeHandshake, done); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	// Step 5: get_client_kx — RSA-decrypt the pre-master, derive the
 	// master secret.
-	s.a.startStep(5, "get_client_kx", "rsa-decrypt pre-master, generate master key")
+	s.bus.StepEnter(probe.StepGetClientKX)
 	if err := s.getClientKeyExchange(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	// Step 6: read client ChangeCipherSpec, generate the key block,
 	// compute the expected client finished hashes, and verify the
 	// (first encrypted) client finished message.
-	s.a.startStep(6, "get_cipher_spec/get_finished",
-		"read client CCS, generate key block, verify client finished")
+	s.bus.StepEnter(probe.StepGetFinished)
 	if err := s.readClientCCSAndFinished(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	// Step 7: send_cipher_spec.
-	s.a.startStep(7, "send_cipher_spec", "send server change cipher spec")
+	s.bus.StepEnter(probe.StepSendCipherSpec)
 	if err := s.sendCCS(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
 	// Step 8: send_finished — server finished hashes with 'SRVR'
 	// padding, MACed and encrypted under the new keys.
-	s.a.startStep(8, "send_finished", "calculate server finish hashes, mac, encrypt, send")
+	s.bus.StepEnter(probe.StepSendFinished)
 	if err := s.sendFinished(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 	return nil
 }
 
 // runResumed performs the short resumed-session tail: the server
 // sends CCS+Finished first, then verifies the client's.
 func (s *serverState) runResumed() error {
-	s.a.startStep(6, "gen_key_block", "regenerate key block from cached master")
-	if err := s.a.cryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
-		s.a.endStep()
+	s.bus.StepEnter(probe.StepGenKeyBlock)
+	if err := s.bus.CryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
-	s.a.startStep(7, "send_cipher_spec", "send server change cipher spec")
+	s.bus.StepEnter(probe.StepSendCipherSpec)
 	if err := s.sendCCS(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
-	s.a.startStep(8, "send_finished", "send server finished")
+	s.bus.StepEnter(probe.StepSendFinished)
 	if err := s.sendFinished(); err != nil {
-		s.a.endStep()
+		s.bus.StepExit()
 		return err
 	}
-	s.a.endStep()
+	s.bus.StepExit()
 
-	s.a.startStep(6, "get_cipher_spec/get_finished", "read and verify client finished")
+	s.bus.StepEnter(probe.StepGetFinished)
 	if err := s.msgs.readCCS(); err != nil {
+		s.bus.StepExit()
 		return err
 	}
 	s.layer.SetReadState(s.inCipher, s.inMAC)
 	err := s.verifyClientFinished()
-	s.a.endStep()
+	s.bus.StepExit()
 	return err
 }
 
@@ -312,7 +330,7 @@ func (s *serverState) getClientHello() error {
 	}
 	s.layer.SetProtocolVersion(s.version)
 	// Absorb into the transcript (finish_mac).
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 
 	// Resumption probe.
 	if s.cfg.Cache != nil && len(s.clientHello.sessionID) > 0 {
@@ -350,7 +368,7 @@ func (s *serverState) getClientHello() error {
 
 	// Generate a fresh session id (rand_pseudo_bytes).
 	s.sessionID = make([]byte, SessionIDLen)
-	return s.a.cryptoErr(FnRandPseudoBytes, func() error {
+	return s.bus.CryptoErr(FnRandPseudoBytes, func() error {
 		_, err := io.ReadFull(s.cfg.Rand, s.sessionID)
 		return err
 	})
@@ -367,7 +385,7 @@ func (s *serverState) offered(id suite.ID) bool {
 }
 
 func (s *serverState) sendServerHello() error {
-	if err := s.a.cryptoErr(FnRandPseudoBytes, func() error {
+	if err := s.bus.CryptoErr(FnRandPseudoBytes, func() error {
 		return fillRandom(s.cfg.Rand, s.serverRandom[:], s.cfg.now())
 	}); err != nil {
 		return err
@@ -379,7 +397,7 @@ func (s *serverState) sendServerHello() error {
 	}
 	hello.random = s.serverRandom
 	raw := hello.marshal()
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 	return s.layer.WriteRecord(record.TypeHandshake, raw)
 }
 
@@ -387,12 +405,12 @@ func (s *serverState) sendCertificate() error {
 	var raw []byte
 	// Building the certificate message is the "X509 functions" cost
 	// of Table 2 step 3.
-	s.a.crypto(FnX509, func() {
+	s.bus.Crypto(FnX509, func() {
 		certs := append([][]byte{s.cfg.CertDER}, s.cfg.Chain...)
 		msg := certificateMsg{certificates: certs}
 		raw = msg.marshal()
 	})
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 	return s.layer.WriteRecord(record.TypeHandshake, raw)
 }
 
@@ -403,7 +421,7 @@ func (s *serverState) sendServerKeyExchange() error {
 		return errors.New("handshake: DHE suites need the full RSA key for signing")
 	}
 	params := s.cfg.dhParams()
-	if err := s.a.cryptoErr(FnDHGenerateKey, func() error {
+	if err := s.bus.CryptoErr(FnDHGenerateKey, func() error {
 		var err error
 		s.dhKey, err = dh.GenerateKey(s.cfg.Rand, params)
 		return err
@@ -416,7 +434,7 @@ func (s *serverState) sendServerKeyExchange() error {
 		y: s.dhKey.Y.Bytes(),
 	}
 	digest := skeDigest(s.clientHello.random[:], s.serverRandom[:], ske.paramBytes())
-	if err := s.a.cryptoErr(FnRSASign, func() error {
+	if err := s.bus.CryptoErr(FnRSASign, func() error {
 		var err error
 		ske.sig, err = s.cfg.Key.SignPKCS1(rsa.HashMD5SHA1, digest)
 		return err
@@ -424,7 +442,7 @@ func (s *serverState) sendServerKeyExchange() error {
 		return err
 	}
 	raw := ske.marshal()
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 	return s.layer.WriteRecord(record.TypeHandshake, raw)
 }
 
@@ -436,7 +454,7 @@ func (s *serverState) getClientKeyExchange() error {
 	if msgType != typeClientKeyExchange {
 		return fmt.Errorf("handshake: expected ClientKeyExchange, got type %d", msgType)
 	}
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 
 	var preMaster []byte
 	if s.suite.Kx == suite.KxDHERSA {
@@ -444,7 +462,7 @@ func (s *serverState) getClientKeyExchange() error {
 		if err := ckx.unmarshal(raw[4:]); err != nil {
 			return err
 		}
-		if err := s.a.cryptoErr(FnDHComputeKey, func() error {
+		if err := s.bus.CryptoErr(FnDHComputeKey, func() error {
 			peerY := newIntFromBytes(ckx.y)
 			var err error
 			preMaster, err = s.dhKey.SharedSecret(peerY)
@@ -470,7 +488,7 @@ func (s *serverState) getClientKeyExchange() error {
 		if s.cfg.Decrypter != nil {
 			dec = s.cfg.Decrypter
 		}
-		if err := s.a.cryptoErr(FnRSAPrivateDecrypt, func() error {
+		if err := s.bus.CryptoErr(FnRSAPrivateDecrypt, func() error {
 			var err error
 			preMaster, err = dec.DecryptPKCS1(s.cfg.Rand, ckx.encryptedPreMaster)
 			return err
@@ -484,7 +502,7 @@ func (s *serverState) getClientKeyExchange() error {
 			return errors.New("handshake: pre-master version mismatch")
 		}
 	}
-	s.a.crypto(FnGenMasterSecret, func() {
+	s.bus.Crypto(FnGenMasterSecret, func() {
 		s.master = deriveMaster(s.version, preMaster,
 			s.clientHello.random[:], s.serverRandom[:])
 	})
@@ -501,7 +519,7 @@ func (s *serverState) readClientCCSAndFinished() error {
 	}
 	// gen_key_block: derive the key block and build both directions'
 	// pending cipher states.
-	if err := s.a.cryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
+	if err := s.bus.CryptoErr(FnGenKeyBlock, s.buildCipherStates); err != nil {
 		return err
 	}
 	s.layer.SetReadState(s.inCipher, s.inMAC)
@@ -513,15 +531,15 @@ func (s *serverState) readClientCCSAndFinished() error {
 // (pri_decryption + mac via the record layer), and compares.
 func (s *serverState) verifyClientFinished() error {
 	var expected []byte
-	s.a.crypto(FnFinalFinishMac, func() {
+	s.bus.Crypto(FnFinalFinishMac, func() {
 		expected = verifyDataFor(s.version, s.fin, true, s.master)
 	})
 
-	// Observe the record layer's decryption and MAC of the finished
-	// message so Table 2 can report pri_decryption and mac rows.
-	restore := s.observeLayer()
+	// The record layer's decryption and MAC of the finished message
+	// emit on the same bus with the current step attached, so Table 2
+	// reports its pri_decryption and mac rows without any observer
+	// swapping.
 	msgType, raw, err := s.msgs.next()
-	restore()
 	if err != nil {
 		return err
 	}
@@ -537,7 +555,7 @@ func (s *serverState) verifyClientFinished() error {
 	}
 	// The client's finished message joins the transcript for the
 	// server's own finished hash.
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
 	return nil
 }
 
@@ -551,43 +569,13 @@ func (s *serverState) sendCCS() error {
 
 func (s *serverState) sendFinished() error {
 	var verify []byte
-	s.a.crypto(FnFinalFinishMac, func() {
+	s.bus.Crypto(FnFinalFinishMac, func() {
 		verify = verifyDataFor(s.version, s.fin, false, s.master)
 	})
 	msg := finishedMsg{verify: verify}
 	raw := msg.marshal()
-	s.a.crypto(FnFinishMac, func() { s.fin.Write(raw) })
-	restore := s.observeLayer()
-	err := s.layer.WriteRecord(record.TypeHandshake, raw)
-	restore()
-	return err
-}
-
-// observeLayer temporarily routes record-layer crypto timings into
-// the anatomy's current step with the paper's row names. The returned
-// function restores the previous observer.
-func (s *serverState) observeLayer() func() {
-	if s.a == nil {
-		return func() {}
-	}
-	prev := s.layer.OnCrypto
-	s.layer.OnCrypto = func(op record.CryptoOp, n int, d time.Duration) {
-		if len(s.a.Steps) == 0 {
-			return
-		}
-		cur := &s.a.Steps[len(s.a.Steps)-1]
-		name := FnMac
-		if op == record.OpCipherDecrypt {
-			name = FnPriDecryption
-		} else if op == record.OpCipherEncrypt {
-			name = FnPriEncryption
-		}
-		cur.Crypto = append(cur.Crypto, CryptoCall{Name: name, Elapsed: d})
-		if s.a.Observer != nil {
-			s.a.Observer.CryptoCall(cur.Name, name, d)
-		}
-	}
-	return func() { s.layer.OnCrypto = prev }
+	s.bus.Crypto(FnFinishMac, func() { s.fin.Write(raw) })
+	return s.layer.WriteRecord(record.TypeHandshake, raw)
 }
 
 // fillRandom fills buf with a 4-byte timestamp followed by random

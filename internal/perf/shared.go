@@ -3,6 +3,8 @@ package perf
 import (
 	"sync"
 	"time"
+
+	"sslperf/internal/probe"
 )
 
 // A SharedBreakdown is a mutex-wrapped Breakdown for measurements
@@ -66,4 +68,14 @@ func (s *SharedBreakdown) Snapshot() *Breakdown {
 	out.Merge(s.b)
 	s.mu.Unlock()
 	return out
+}
+
+// Emit implements probe.Sink: engine-timer events fold into the
+// breakdown under their region name, so a SharedBreakdown can sit
+// directly on an engine's probe bus. Other event kinds are ignored.
+func (s *SharedBreakdown) Emit(e probe.Event) {
+	if e.Kind != probe.KindEngineTimer {
+		return
+	}
+	s.Add(e.Fn, e.Dur)
 }

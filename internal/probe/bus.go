@@ -1,0 +1,201 @@
+package probe
+
+import "time"
+
+// A Sink consumes probe events. Emit is called synchronously on the
+// emitting goroutine, in sink attachment order; a slow sink slows the
+// connection. Sinks attached to per-connection buses see one
+// goroutine at a time (the ssl package serializes connections), but a
+// sink shared across connections or attached to an engine bus must be
+// safe for concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// A Bus stamps events once and fans them out to its sinks. A nil
+// *Bus is the off state: every method is a nil-receiver no-op, so an
+// uninstrumented hot path pays one pointer test and performs zero
+// allocations — NewBus returns nil when no sinks are attached
+// precisely so that the fast path engages.
+//
+// The step cursor (StepEnter/StepExit) is single-owner state: only
+// the handshake goroutine moves it. Stateless emissions (RecordIO,
+// the Engine* helpers) may come from any goroutine as long as the
+// sinks tolerate it.
+type Bus struct {
+	sinks []Sink
+
+	cur       Step
+	open      bool
+	stepStart time.Time
+}
+
+// NewBus builds a bus over the non-nil sinks, returning nil (the
+// no-op bus) when none remain.
+func NewBus(sinks ...Sink) *Bus {
+	var list []Sink
+	for _, s := range sinks {
+		if s != nil {
+			list = append(list, s)
+		}
+	}
+	if len(list) == 0 {
+		return nil
+	}
+	return &Bus{sinks: list}
+}
+
+// With returns a bus carrying b's sinks plus the given ones. The
+// result is a fresh bus (step cursor reset); compose sinks before the
+// handshake starts.
+func (b *Bus) With(sinks ...Sink) *Bus {
+	if b == nil {
+		return NewBus(sinks...)
+	}
+	if len(sinks) == 0 {
+		return b
+	}
+	all := make([]Sink, 0, len(b.sinks)+len(sinks))
+	all = append(all, b.sinks...)
+	all = append(all, sinks...)
+	return NewBus(all...)
+}
+
+// Active reports whether events will reach any sink.
+func (b *Bus) Active() bool { return b != nil }
+
+func (b *Bus) emit(e Event) {
+	for _, s := range b.sinks {
+		s.Emit(e)
+	}
+}
+
+// openStep returns the step the cursor is inside, or StepNone.
+func (b *Bus) openStep() Step {
+	if b.open {
+		return b.cur
+	}
+	return StepNone
+}
+
+// StepEnter opens step st, closing any step still open (steps never
+// nest in the SSL FSM).
+func (b *Bus) StepEnter(st Step) {
+	if b == nil {
+		return
+	}
+	b.StepExit()
+	now := time.Now()
+	b.cur, b.open, b.stepStart = st, true, now
+	b.emit(Event{Kind: KindStepEnter, Step: st, At: now})
+}
+
+// StepExit closes the open step, emitting its in-step duration; a
+// no-op when no step is open.
+func (b *Bus) StepExit() {
+	if b == nil || !b.open {
+		return
+	}
+	now := time.Now()
+	b.open = false
+	b.emit(Event{Kind: KindStepExit, Step: b.cur, At: now, Dur: now.Sub(b.stepStart)})
+	b.cur = StepNone
+}
+
+// Crypto runs fn, attributing its duration to the named crypto
+// function within the open step. On a nil bus fn runs untimed.
+func (b *Bus) Crypto(fn string, f func()) {
+	if b == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	b.emit(Event{Kind: KindCrypto, Step: b.openStep(), Fn: fn, At: start, Dur: time.Since(start)})
+}
+
+// CryptoErr is Crypto for functions that can fail.
+func (b *Bus) CryptoErr(fn string, f func() error) error {
+	var err error
+	b.Crypto(fn, func() { err = f() })
+	return err
+}
+
+// Stamp returns the spine's notion of "now" for a region about to be
+// measured, or the zero time on a nil bus (where the later emission
+// is a no-op anyway). Hot paths use Stamp + the emission helpers so
+// the spine owns every clock read.
+func (b *Bus) Stamp() time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// RecordCrypto reports one record-layer cipher/MAC pass over bytes of
+// payload that began at start (from Stamp). The event carries the
+// open handshake step, if any, so sinks can attribute the encrypted
+// finished messages to Table 2's pri_encryption/pri_decryption/mac
+// rows and leave bulk-phase work unattributed.
+func (b *Bus) RecordCrypto(op RecordOp, bytes int, start time.Time) {
+	if b == nil {
+		return
+	}
+	b.emit(Event{Kind: KindRecordCrypto, Step: b.openStep(), Op: op,
+		Bytes: bytes, At: start, Dur: time.Since(start)})
+}
+
+// RecordIO reports one framed record written or opened with its
+// plaintext payload size.
+func (b *Bus) RecordIO(written, alert bool, bytes int) {
+	if b == nil {
+		return
+	}
+	b.emit(Event{Kind: KindRecordIO, Step: b.openStep(), Written: written,
+		Alert: alert, Bytes: bytes})
+}
+
+// EngineValue reports a dimensionless engine sample.
+func (b *Bus) EngineValue(name string, v int64) {
+	if b == nil {
+		return
+	}
+	b.emit(Event{Kind: KindEngineValue, Fn: name, Value: v})
+}
+
+// EngineTimer reports a completed engine region.
+func (b *Bus) EngineTimer(name string, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.emit(Event{Kind: KindEngineTimer, Fn: name, Dur: d})
+}
+
+// Timed runs fn, reporting its duration as an engine timer. On a nil
+// bus fn runs untimed.
+func (b *Bus) Timed(name string, f func()) {
+	if b == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	b.emit(Event{Kind: KindEngineTimer, Fn: name, At: start, Dur: time.Since(start)})
+}
+
+// EngineSpan reports one cross-connection engine operation of the
+// given size that began at start (from Stamp), linked to the spans it
+// served.
+func (b *Bus) EngineSpan(name string, size int, start time.Time, links []SpanRef) {
+	if b == nil {
+		return
+	}
+	b.emit(Event{Kind: KindEngineSpan, Fn: name, Value: int64(size),
+		Links: links, At: start, Dur: time.Since(start)})
+}

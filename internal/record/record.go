@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"time"
 
+	"sslperf/internal/probe"
 	"sslperf/internal/sslcrypto"
 	"sslperf/internal/suite"
 )
@@ -137,30 +137,17 @@ type Stats struct {
 }
 
 // CryptoOp identifies a record-layer crypto operation for observers.
-type CryptoOp int
+// It is the probe spine's RecordOp; the alias keeps the historical
+// record-layer API intact.
+type CryptoOp = probe.RecordOp
 
 // Observable record-layer crypto operations.
 const (
-	OpCipherEncrypt CryptoOp = iota
-	OpCipherDecrypt
-	OpMACCompute
-	OpMACVerify
+	OpCipherEncrypt = probe.OpCipherEncrypt
+	OpCipherDecrypt = probe.OpCipherDecrypt
+	OpMACCompute    = probe.OpMACCompute
+	OpMACVerify     = probe.OpMACVerify
 )
-
-// String names the operation.
-func (o CryptoOp) String() string {
-	switch o {
-	case OpCipherEncrypt:
-		return "cipher_encrypt"
-	case OpCipherDecrypt:
-		return "cipher_decrypt"
-	case OpMACCompute:
-		return "mac_compute"
-	case OpMACVerify:
-		return "mac_verify"
-	}
-	return fmt.Sprintf("crypto_op(%d)", int(o))
-}
 
 // A Layer frames records over an underlying stream. It is not safe
 // for concurrent use; the ssl package serializes access.
@@ -172,18 +159,12 @@ type Layer struct {
 	// Stats accumulates counts; read freely between operations.
 	Stats Stats
 
-	// OnCrypto, when non-nil, observes the duration and payload size
-	// of every cipher and MAC operation the layer performs. The
-	// anatomy experiments use this to attribute bulk-transfer time to
-	// private-key encryption vs hashing (Table 2 steps 6/8, Figure 2).
-	OnCrypto func(op CryptoOp, bytes int, d time.Duration)
-
-	// OnRecord, when non-nil, observes every framed record after it
-	// is written (written=true, per fragment) or successfully opened
-	// (written=false) with its plaintext payload size. The telemetry
-	// layer hangs its live byte/record/alert counters here; when nil
-	// the only cost is one pointer test per record.
-	OnRecord func(written bool, typ ContentType, payloadBytes int)
+	// Probe, when non-nil, is the instrumentation spine the layer
+	// emits on: one timed KindRecordCrypto event per cipher/MAC pass
+	// and one KindRecordIO event per record written (per fragment) or
+	// successfully opened. Every stamp comes from the bus, so a nil
+	// bus costs one pointer test per hook and zero clock reads.
+	Probe *probe.Bus
 
 	// version is the pinned protocol version; 0 means flexible
 	// (accept SSL 3.0 or TLS 1.0, emit SSL 3.0) until the handshake
@@ -231,15 +212,16 @@ func (l *Layer) versionOK(v uint16) bool {
 	return v == VersionSSL30 || v == VersionTLS10
 }
 
-// timeCrypto runs fn, reporting it to OnCrypto when set.
+// timeCrypto runs fn, reporting it on the probe bus when one is
+// attached.
 func (l *Layer) timeCrypto(op CryptoOp, n int, fn func()) {
-	if l.OnCrypto == nil {
+	if l.Probe == nil {
 		fn()
 		return
 	}
-	start := time.Now()
+	start := l.Probe.Stamp()
 	fn()
-	l.OnCrypto(op, n, time.Since(start))
+	l.Probe.RecordCrypto(op, n, start)
 }
 
 // NewLayer wraps rw in a record layer with NULL security (the state
@@ -282,18 +264,14 @@ func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
 func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 	// Timing is inlined rather than routed through timeCrypto: the
 	// closure a timeCrypto call would need captures the growing body
-	// slice and forces a heap allocation per record.
+	// slice and forces a heap allocation per record. Stamp/RecordCrypto
+	// are nil-receiver no-ops, so the probe-off path stays branch-only.
 	bp := sealPool.Get().(*[]byte)
 	body := append((*bp)[:0], payload...)
 	if l.out.mac != nil {
-		var start time.Time
-		if l.OnCrypto != nil {
-			start = time.Now()
-		}
+		start := l.Probe.Stamp()
 		body = l.out.mac.AppendCompute(body, l.out.seq, byte(typ), payload)
-		if l.OnCrypto != nil {
-			l.OnCrypto(OpMACCompute, len(payload), time.Since(start))
-		}
+		l.Probe.RecordCrypto(OpMACCompute, len(payload), start)
 	}
 	if l.out.active() {
 		if bs := l.out.cipher.BlockSize(); bs > 1 {
@@ -310,14 +288,9 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 			}
 			body = append(body, byte(padLen))
 		}
-		var start time.Time
-		if l.OnCrypto != nil {
-			start = time.Now()
-		}
+		start := l.Probe.Stamp()
 		l.out.cipher.Encrypt(body)
-		if l.OnCrypto != nil {
-			l.OnCrypto(OpCipherEncrypt, len(body), time.Since(start))
-		}
+		l.Probe.RecordCrypto(OpCipherEncrypt, len(body), start)
 	}
 	hdr := [headerLen]byte{byte(typ)}
 	binary.BigEndian.PutUint16(hdr[1:], l.writeVersion())
@@ -338,9 +311,7 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 	if typ == TypeAlert {
 		l.Stats.AlertsWritten++
 	}
-	if l.OnRecord != nil {
-		l.OnRecord(true, typ, len(payload))
-	}
+	l.Probe.RecordIO(true, typ == TypeAlert, len(payload))
 	return nil
 }
 
@@ -382,9 +353,7 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	if typ == TypeAlert {
 		l.Stats.AlertsRead++
 	}
-	if l.OnRecord != nil {
-		l.OnRecord(false, typ, len(payload))
-	}
+	l.Probe.RecordIO(false, typ == TypeAlert, len(payload))
 	if typ == TypeAlert {
 		if len(payload) != 2 {
 			return 0, nil, errors.New("record: malformed alert")

@@ -3,6 +3,7 @@ package record
 import (
 	"bytes"
 	"io"
+	"sslperf/internal/probe"
 	"strings"
 	"testing"
 
@@ -330,23 +331,26 @@ func TestMACKeyMismatchRejected(t *testing.T) {
 	}
 }
 
-// TestOnRecordObserverAndAlertCounters checks the telemetry hook sees
-// every framed record with its payload size and that alert traffic is
+// TestProbeRecordIOAndAlertCounters checks the probe spine sees every
+// framed record with its payload size and that alert traffic is
 // counted separately.
-func TestOnRecordObserverAndAlertCounters(t *testing.T) {
+func TestProbeRecordIOAndAlertCounters(t *testing.T) {
 	sender, receiver, _ := oneWay()
 	type obs struct {
 		written bool
-		typ     ContentType
+		alert   bool
 		n       int
 	}
+	collect := func(dst *[]obs) *probe.Bus {
+		return probe.NewBus(probe.SinkFunc(func(e probe.Event) {
+			if e.Kind == probe.KindRecordIO {
+				*dst = append(*dst, obs{e.Written, e.Alert, e.Bytes})
+			}
+		}))
+	}
 	var sent, recv []obs
-	sender.OnRecord = func(w bool, typ ContentType, n int) {
-		sent = append(sent, obs{w, typ, n})
-	}
-	receiver.OnRecord = func(w bool, typ ContentType, n int) {
-		recv = append(recv, obs{w, typ, n})
-	}
+	sender.Probe = collect(&sent)
+	receiver.Probe = collect(&recv)
 
 	payload := bytes.Repeat([]byte{0xAB}, MaxFragment+10) // forces 2 fragments
 	if err := sender.WriteRecord(TypeApplicationData, payload); err != nil {
@@ -356,7 +360,7 @@ func TestOnRecordObserverAndAlertCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(sent) != 3 || !sent[0].written || sent[0].n != MaxFragment ||
-		sent[1].n != 10 || sent[2].typ != TypeAlert || sent[2].n != 2 {
+		sent[1].n != 10 || !sent[2].alert || sent[2].n != 2 {
 		t.Fatalf("sent observations = %+v", sent)
 	}
 	if sender.Stats.AlertsWritten != 1 || sender.Stats.RecordsWritten != 3 {
@@ -372,7 +376,7 @@ func TestOnRecordObserverAndAlertCounters(t *testing.T) {
 	if ae, ok := err.(*AlertError); !ok || ae.Description != AlertCloseNotify {
 		t.Fatalf("expected close_notify alert, got %v", err)
 	}
-	if len(recv) != 3 || recv[0].written || recv[2].typ != TypeAlert {
+	if len(recv) != 3 || recv[0].written || recv[0].alert || !recv[2].alert {
 		t.Fatalf("recv observations = %+v", recv)
 	}
 	if receiver.Stats.AlertsRead != 1 || receiver.Stats.RecordsRead != 3 {

@@ -1,12 +1,12 @@
 package rsabatch
 
 import (
-	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sslperf/internal/probe"
 	"sslperf/internal/rsa"
 	"sslperf/internal/telemetry"
 	"sslperf/internal/trace"
@@ -50,14 +50,27 @@ type Config struct {
 	// (serialized internally; see KeySet.DecryptBatch).
 	Rand io.Reader
 
+	// Probes subscribes sinks to the engine's probe events: value
+	// samples for batch size and queue depth, a timer for linger
+	// latency, and one engine span per executed batch (linked to the
+	// handshake spans it served). Sinks are shared across the
+	// engine's goroutines and must tolerate concurrent Emit calls.
+	Probes []probe.Sink
+
 	// Telemetry, when non-nil, receives the engine's batch-size,
 	// queue-depth, and linger-latency histograms.
+	//
+	// Deprecated: a shim wrapping the registry in a
+	// telemetry.EngineSink on the engine's bus; prefer Probes.
 	Telemetry *telemetry.Registry
 
 	// Tracer, when non-nil, receives one engine span per executed
 	// batch, linked to the handshake spans the batch served (requests
 	// submitted through DecrypterTraced carry the link), so the
 	// cross-connection amortization is visible in /debug/trace.
+	//
+	// Deprecated: a shim wrapping the tracer in a trace.EngineSink on
+	// the engine's bus; prefer Probes.
 	Tracer *trace.Tracer
 }
 
@@ -117,7 +130,7 @@ type request struct {
 type Engine struct {
 	ks  *KeySet
 	cfg Config
-	tel *telemetry.Registry
+	bus *probe.Bus
 
 	subq chan *request
 	quit chan struct{}
@@ -159,10 +172,12 @@ func NewEngine(ks *KeySet, cfg Config) *Engine {
 	if c.Rand != nil {
 		c.Rand = &lockedReader{r: c.Rand}
 	}
+	sinks := append(append([]probe.Sink(nil), c.Probes...),
+		telemetry.EngineSink(c.Telemetry), trace.EngineSink(c.Tracer))
 	e := &Engine{
 		ks:   ks,
 		cfg:  c,
-		tel:  c.Telemetry,
+		bus:  probe.NewBus(sinks...),
 		subq: make(chan *request, c.QueueDepth),
 		quit: make(chan struct{}),
 	}
@@ -241,8 +256,8 @@ func (e *Engine) collect(workq chan []*request) {
 		}
 		timer.Stop()
 		lingerC = nil
-		e.tel.ObserveValue(MetricBatchSize, int64(len(pending)))
-		e.tel.ObserveTimer(MetricLinger, time.Since(batchStart))
+		e.bus.EngineValue(MetricBatchSize, int64(len(pending)))
+		e.bus.EngineTimer(MetricLinger, time.Since(batchStart))
 		batch := pending
 		pending = nil
 		mask = 0
@@ -314,17 +329,16 @@ func (e *Engine) runBatch(batch []*request) {
 		req.done <- result{pt: pt, err: err}
 		return
 	}
-	if tr := e.cfg.Tracer; tr != nil {
-		start := time.Now()
+	if e.bus.Active() {
+		start := e.bus.Stamp()
 		defer func() {
-			var links []trace.Ref
+			var links []probe.SpanRef
 			for _, req := range batch {
-				if req.link != (trace.Ref{}) {
+				if req.link != (probe.SpanRef{}) {
 					links = append(links, req.link)
 				}
 			}
-			tr.EngineSpan("rsa_batch", fmt.Sprintf("size=%d", len(batch)),
-				start, time.Since(start), links)
+			e.bus.EngineSpan("rsa_batch", len(batch), start, links)
 		}()
 	}
 	idxs := make([]int, len(batch))
@@ -377,7 +391,7 @@ func (e *Engine) decrypt(idx int, rnd io.Reader, ct []byte, ref func() trace.Ref
 		// names the step span that is waiting on this decryption.
 		req.link = ref()
 	}
-	e.tel.ObserveValue(MetricQueueDepth, int64(len(e.subq)))
+	e.bus.EngineValue(MetricQueueDepth, int64(len(e.subq)))
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()

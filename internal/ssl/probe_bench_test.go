@@ -1,0 +1,46 @@
+package ssl
+
+import (
+	"testing"
+
+	"sslperf/internal/telemetry"
+	"sslperf/internal/trace"
+)
+
+// benchHandshakeProbed measures the probe spine's fan-out cost at its
+// three deployment points: no sinks at all (the bus is nil and every
+// hook is a pointer test), the production 1-in-16 trace sampling, and
+// every sink adapter at once — anatomy fold + telemetry counters +
+// always-on span building riding one bus. The figures land in
+// docs/BENCH_probe.json via make bench.
+func benchHandshakeProbed(b *testing.B, reg *telemetry.Registry, tracer *trace.Tracer) {
+	ccfg, scfg := benchConfigs(b, nil)
+	scfg.Telemetry = reg
+	scfg.Tracer = tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, st := Pipe()
+		client, server := ClientConn(ct, ccfg), ServerConn(st, scfg)
+		errs := make(chan error, 1)
+		go func() { errs <- client.Handshake() }()
+		if err := server.Handshake(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+		server.Close()
+		client.Close()
+	}
+}
+
+func BenchmarkHandshakeProbeOff(b *testing.B) { benchHandshakeProbed(b, nil, nil) }
+
+func BenchmarkHandshakeProbeSampled16(b *testing.B) {
+	benchHandshakeProbed(b, nil, trace.NewTracer(trace.Config{SampleEvery: 16}))
+}
+
+func BenchmarkHandshakeProbeAll(b *testing.B) {
+	benchHandshakeProbed(b, telemetry.NewRegistry(), trace.NewTracer(trace.Config{SampleEvery: 1}))
+}

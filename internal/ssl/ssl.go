@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sslperf/internal/handshake"
+	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/suite"
@@ -63,12 +64,24 @@ type Config struct {
 	ServerName         string
 	InsecureSkipVerify bool
 
+	// Probes subscribes additional sinks to the connection's
+	// instrumentation spine (internal/probe): every handshake step
+	// boundary, attributed crypto call, record-layer cipher/MAC pass,
+	// and record I/O event reaches each sink in order. Sinks shared
+	// across connections must be safe for concurrent Emit calls. With
+	// no probes, telemetry, or tracer configured the spine is off and
+	// the hot path pays one nil test per hook.
+	Probes []probe.Sink
+
 	// Telemetry, when non-nil, receives live metrics and flight-
 	// recorder events from every connection using this config:
 	// handshake outcomes and latencies (with per-step histograms on
 	// the server side), record/byte/alert counters, and step-by-step
-	// event traces. When nil — the default — connections emit nothing
-	// and the hot path pays only nil tests.
+	// event traces.
+	//
+	// Deprecated: Telemetry is a shim that wraps the registry in a
+	// telemetry.ProbeSink on the spine; it remains fully supported,
+	// but new integrations can subscribe via Probes directly.
 	Telemetry *telemetry.Registry
 
 	// Tracer, when non-nil, samples connections for per-connection
@@ -77,6 +90,10 @@ type Config struct {
 	// /debug/trace and folded into the live anatomy profiler. An
 	// unsampled connection pays one sampling decision; a nil Tracer
 	// pays one pointer test.
+	//
+	// Deprecated: Tracer is a shim that wraps sampled connections in
+	// a trace.ProbeSink on the spine; it remains fully supported, but
+	// new integrations can subscribe via Probes directly.
 	Tracer *trace.Tracer
 }
 
@@ -102,6 +119,10 @@ type Conn struct {
 	result        *handshake.Result
 	anatomy       *handshake.Anatomy
 	telemetryID   uint64 // flight-recorder connection ID (0 = none)
+
+	bus       *probe.Bus   // the connection's probe spine (nil = off)
+	baseSinks []probe.Sink // sinks armed at handshake time
+	cryptoObs func(op record.CryptoOp, bytes int, d time.Duration)
 
 	ct           *trace.ConnTrace // non-nil only on sampled connections
 	traceHS      uint64           // the trace's top-level handshake span
@@ -163,6 +184,7 @@ func (c *Conn) handshakeLocked() error {
 	if c.ct != nil || c.cfg.Tracer != nil {
 		c.traceStart()
 	}
+	c.armProbes(tel)
 	var err error
 	if c.isClient {
 		c.result, err = handshake.Client(c.layer, &handshake.ClientConfig{
@@ -176,6 +198,8 @@ func (c *Conn) handshakeLocked() error {
 			InsecureSkipVerify: c.cfg.InsecureSkipVerify,
 		})
 	} else {
+		// The anatomy (when any) is already a sink on the bus, so the
+		// FSM gets the bus alone.
 		c.result, err = handshake.Server(c.layer, &handshake.ServerConfig{
 			Key:        c.cfg.Key,
 			Decrypter:  c.cfg.Decrypter,
@@ -186,7 +210,8 @@ func (c *Conn) handshakeLocked() error {
 			Suites:     c.cfg.Suites,
 			Time:       c.cfg.Time,
 			MaxVersion: c.cfg.Version,
-		}, c.anatomy)
+			Probe:      c.bus,
+		}, nil)
 	}
 	if tel != nil {
 		c.telemetryFinish(tel, time.Since(hsStart), err)
@@ -327,10 +352,13 @@ func (c *Conn) Close() error {
 // Stats returns the record-layer counters.
 func (c *Conn) Stats() record.Stats { return c.layer.Stats }
 
-// SetCryptoObserver routes record-layer crypto timings (cipher and
-// MAC operations with payload sizes) to fn; pass nil to remove. The
-// Figure 2 and Table 1 experiments use this to measure the crypto
-// share of bulk transfers.
+// SetCryptoObserver routes bulk-phase record-layer crypto timings
+// (cipher and MAC operations with payload sizes) to fn; pass nil to
+// remove. Handshake-phase record work (the encrypted finished
+// messages) is attributed to Table 2 rows on the spine instead, as it
+// always was. The Figure 2 and Table 1 experiments use this to
+// measure the crypto share of bulk transfers.
 func (c *Conn) SetCryptoObserver(fn func(op record.CryptoOp, bytes int, d time.Duration)) {
-	c.layer.OnCrypto = fn
+	c.cryptoObs = fn
+	c.refreshBus()
 }

@@ -6,58 +6,21 @@ import (
 	"strings"
 	"time"
 
-	"sslperf/internal/handshake"
 	"sslperf/internal/record"
 	"sslperf/internal/telemetry"
 )
 
-// stepTelemetry streams handshake-FSM step boundaries and crypto
-// calls into the flight recorder as they happen.
-type stepTelemetry struct {
-	reg  *telemetry.Registry
-	conn uint64
-}
-
-func (o stepTelemetry) StepStart(index int, name, desc string) {
-	o.reg.Event(o.conn, telemetry.EventStepStart, name, desc, 0)
-}
-
-func (o stepTelemetry) StepEnd(index int, name string, elapsed time.Duration) {
-	o.reg.Event(o.conn, telemetry.EventStepEnd, name, "", elapsed)
-}
-
-func (o stepTelemetry) CryptoCall(step, fn string, elapsed time.Duration) {
-	o.reg.Event(o.conn, telemetry.EventCrypto, fn, step, elapsed)
-}
-
-// telemetryStart prepares a connection for emission: assigns its ID,
-// records the handshake_start event, arms the record-layer observer,
-// and (server side) installs a step observer. Called with c.mu held,
-// only when a registry is configured.
+// telemetryStart prepares a connection for emission: assigns its ID
+// and records the handshake_start event. The step/crypto/record flow
+// itself arrives through the telemetry probe sink armProbes attaches.
+// Called with c.mu held, only when a registry is configured.
 func (c *Conn) telemetryStart(reg *telemetry.Registry) {
 	c.telemetryID = reg.ConnOpen()
 	role := "client"
 	if !c.isClient {
 		role = "server"
-		if c.anatomy == nil {
-			c.anatomy = handshake.NewAnatomy()
-		}
 	}
-	if c.anatomy != nil && c.anatomy.Observer == nil {
-		c.anatomy.Observer = stepTelemetry{reg: reg, conn: c.telemetryID}
-	}
-	id := c.telemetryID
-	c.layer.OnRecord = func(written bool, typ record.ContentType, n int) {
-		reg.RecordIO(written, typ == record.TypeAlert, n)
-		if typ == record.TypeAlert {
-			kind := telemetry.EventAlertReceived
-			if written {
-				kind = telemetry.EventAlertSent
-			}
-			reg.Event(id, kind, "", "", 0)
-		}
-	}
-	reg.Event(id, telemetry.EventHandshakeStart, "", role, 0)
+	reg.Event(c.telemetryID, telemetry.EventHandshakeStart, "", role, 0)
 }
 
 // telemetryFinish records the outcome of a handshake attempt: the

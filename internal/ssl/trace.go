@@ -1,77 +1,14 @@
 package ssl
 
 import (
-	"time"
-
-	"sslperf/internal/handshake"
-	"sslperf/internal/record"
 	"sslperf/internal/trace"
 )
 
-// multiStepObserver fans step-boundary callbacks out to several
-// observers — telemetry's flight recorder and the span tracer both
-// listen to the same handshake FSM.
-type multiStepObserver []handshake.StepObserver
-
-func (m multiStepObserver) StepStart(index int, name, desc string) {
-	for _, o := range m {
-		o.StepStart(index, name, desc)
-	}
-}
-
-func (m multiStepObserver) StepEnd(index int, name string, elapsed time.Duration) {
-	for _, o := range m {
-		o.StepEnd(index, name, elapsed)
-	}
-}
-
-func (m multiStepObserver) CryptoCall(step, fn string, elapsed time.Duration) {
-	for _, o := range m {
-		o.CryptoCall(step, fn, elapsed)
-	}
-}
-
-// addStepObserver chains obs onto the anatomy's existing observer.
-func addStepObserver(a *handshake.Anatomy, obs handshake.StepObserver) {
-	switch prev := a.Observer.(type) {
-	case nil:
-		a.Observer = obs
-	case multiStepObserver:
-		a.Observer = append(prev, obs)
-	default:
-		a.Observer = multiStepObserver{prev, obs}
-	}
-}
-
-// traceStepObserver turns step boundaries and crypto calls into spans
-// on the connection's trace. It runs on the handshake goroutine only.
-type traceStepObserver struct {
-	ct     *trace.ConnTrace
-	parent uint64 // the top-level handshake span
-	cur    uint64 // the open step span
-}
-
-func (o *traceStepObserver) StepStart(index int, name, desc string) {
-	o.cur = o.ct.Begin(name, trace.CatStep, o.parent)
-}
-
-func (o *traceStepObserver) StepEnd(index int, name string, elapsed time.Duration) {
-	// The observer reports cumulative in-step time, which excludes
-	// I/O waits the wall clock would charge; pass it through.
-	o.ct.End(o.cur, elapsed)
-	o.cur = 0
-}
-
-func (o *traceStepObserver) CryptoCall(step, fn string, elapsed time.Duration) {
-	// Crypto calls report after the fact: synthesize the start time.
-	o.ct.Event(fn, trace.CatCrypto, o.cur, time.Now().Add(-elapsed), elapsed)
-}
-
 // traceStart arms a sampled connection: starts (or adopts) its
-// ConnTrace, opens the top-level handshake span, installs the step
-// observer next to any telemetry observer, and chains a record-layer
-// hook so cipher/MAC work becomes record spans. Called with c.mu
-// held, only when a tracer or a pre-started trace is present.
+// ConnTrace and opens the top-level handshake span. The step, crypto,
+// and record-layer span flow arrives through the trace probe sink
+// armProbes attaches. Called with c.mu held, only when a tracer or a
+// pre-started trace is present.
 func (c *Conn) traceStart() {
 	role := "client"
 	if !c.isClient {
@@ -86,26 +23,6 @@ func (c *Conn) traceStart() {
 		c.ct.SetConn(c.telemetryID)
 	}
 	c.traceHS = c.ct.Begin("handshake", trace.CatConn, 0)
-
-	if !c.isClient {
-		if c.anatomy == nil {
-			c.anatomy = handshake.NewAnatomy()
-		}
-		addStepObserver(c.anatomy, &traceStepObserver{ct: c.ct, parent: c.traceHS})
-	}
-
-	// Record-layer cipher/MAC work becomes record spans. During the
-	// handshake's finished messages the server FSM temporarily swaps
-	// this hook for its own (attributing the same work to Table 2's
-	// pri_decryption/mac rows) and restores it after, so bulk-phase
-	// work lands here without double counting.
-	ct, prev := c.ct, c.layer.OnCrypto
-	c.layer.OnCrypto = func(op record.CryptoOp, n int, d time.Duration) {
-		if prev != nil {
-			prev(op, n, d)
-		}
-		ct.Event(op.String(), trace.CatRecord, 0, time.Now().Add(-d), d)
-	}
 }
 
 // traceFinish closes the handshake span and folds the trace into the

@@ -1,0 +1,75 @@
+package telemetry
+
+import "sslperf/internal/probe"
+
+// probeSink folds one connection's spine events into a registry: step
+// boundaries and crypto calls become flight-recorder events, record
+// I/O feeds the byte/record/alert counters.
+type probeSink struct {
+	reg  *Registry
+	conn uint64
+}
+
+// ProbeSink returns the probe sink that emits conn's events into reg,
+// or nil when reg is nil (so the bus's nil-sink filtering keeps the
+// fast path on).
+func ProbeSink(reg *Registry, conn uint64) probe.Sink {
+	if reg == nil {
+		return nil
+	}
+	return probeSink{reg: reg, conn: conn}
+}
+
+// Emit implements probe.Sink.
+func (s probeSink) Emit(e probe.Event) {
+	switch e.Kind {
+	case probe.KindStepEnter:
+		s.reg.Event(s.conn, EventStepStart, e.Step.Name(), e.Step.Desc(), 0)
+	case probe.KindStepExit:
+		s.reg.Event(s.conn, EventStepEnd, e.Step.Name(), "", e.Dur)
+	case probe.KindCrypto:
+		s.reg.Event(s.conn, EventCrypto, e.Fn, e.Step.Name(), e.Dur)
+	case probe.KindRecordCrypto:
+		// Record-layer work inside a handshake step lands in the
+		// flight recorder under its Table 2 row name; bulk-phase work
+		// is covered by the I/O counters alone (per-op events would
+		// flood the ring).
+		if e.Step != probe.StepNone {
+			s.reg.Event(s.conn, EventCrypto, e.Op.StepFn(), e.Step.Name(), e.Dur)
+		}
+	case probe.KindRecordIO:
+		s.reg.RecordIO(e.Written, e.Alert, e.Bytes)
+		if e.Alert {
+			kind := EventAlertReceived
+			if e.Written {
+				kind = EventAlertSent
+			}
+			s.reg.Event(s.conn, kind, "", "", 0)
+		}
+	}
+}
+
+// engineSink folds engine metric events into a registry.
+type engineSink struct {
+	reg *Registry
+}
+
+// EngineSink returns the probe sink that records engine value and
+// timer metrics (queue depths, batch sizes, linger latencies) on reg,
+// or nil when reg is nil.
+func EngineSink(reg *Registry) probe.Sink {
+	if reg == nil {
+		return nil
+	}
+	return engineSink{reg: reg}
+}
+
+// Emit implements probe.Sink.
+func (s engineSink) Emit(e probe.Event) {
+	switch e.Kind {
+	case probe.KindEngineValue:
+		s.reg.ObserveValue(e.Fn, e.Value)
+	case probe.KindEngineTimer:
+		s.reg.ObserveTimer(e.Fn, e.Dur)
+	}
+}

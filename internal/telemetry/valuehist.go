@@ -109,9 +109,10 @@ func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
-	s.P50 = valueQuantile(&counts, s.Count, 0.50, s.Max)
-	s.P95 = valueQuantile(&counts, s.Count, 0.95, s.Max)
-	s.P99 = valueQuantile(&counts, s.Count, 0.99, s.Max)
+	s.P50 = valueQuantile(&counts, s.Count, 0.50)
+	s.P95 = valueQuantile(&counts, s.Count, 0.95)
+	s.P99 = valueQuantile(&counts, s.Count, 0.99)
+	s.clampQuantiles()
 	for i, c := range counts {
 		if c > 0 {
 			s.Buckets = append(s.Buckets, ValueBucket{UpperBound: valueBucketBound(i), Count: c})
@@ -120,7 +121,24 @@ func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
 	return s
 }
 
-func valueQuantile(counts *[valueBuckets]uint64, total uint64, q float64, max int64) int64 {
+// clampQuantiles bounds the published quantiles to [0, Max] — the
+// single place quantile clamping happens. Bucket upper bounds can
+// overshoot the true maximum (observations never exceed it), and a
+// Reset racing a scrape can leave Max loaded from the other side of
+// the cut; clamping every quantile here keeps p50 <= p95 <= p99 <=
+// max monotone no matter how the race lands.
+func (s *ValueHistogramSnapshot) clampQuantiles() {
+	for _, q := range []*int64{&s.P50, &s.P95, &s.P99} {
+		if *q < 0 || *q > s.Max {
+			*q = s.Max
+		}
+	}
+}
+
+// valueQuantile returns the raw upper bound of the bucket holding the
+// q-quantile (−1 for the overflow bucket). Callers clamp via
+// clampQuantiles — no clamping happens here.
+func valueQuantile(counts *[valueBuckets]uint64, total uint64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
@@ -132,13 +150,8 @@ func valueQuantile(counts *[valueBuckets]uint64, total uint64, q float64, max in
 	for i, c := range counts {
 		seen += c
 		if seen >= rank {
-			// The bucket's upper bound can overshoot the true maximum
-			// (observations never exceed max), so clamp.
-			if b := valueBucketBound(i); b >= 0 && b < max {
-				return b
-			}
-			return max
+			return valueBucketBound(i)
 		}
 	}
-	return max
+	return valueBucketBound(valueBuckets - 1)
 }

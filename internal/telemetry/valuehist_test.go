@@ -113,3 +113,26 @@ func TestValueHistogramConcurrent(t *testing.T) {
 		t.Fatalf("max = %d, want 7999", s.Max)
 	}
 }
+
+// TestValueHistogramClampMonotone pins the single-place quantile
+// clamp: when a Reset races a scrape, the counts can be loaded from
+// before the cut while max loads from after it (or vice versa),
+// leaving raw bucket bounds above the published max. Snapshot must
+// still report p50 <= p95 <= p99 <= max. We simulate the torn read by
+// resetting only the max register, the worst interleaving a racing
+// Reset can produce.
+func TestValueHistogramClampMonotone(t *testing.T) {
+	var h ValueHistogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.max.Store(3) // counts say ~1024, max says 3: a torn Reset read
+	s := h.Snapshot()
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: p50 %d p95 %d p99 %d max %d",
+			s.P50, s.P95, s.P99, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %d, want clamped to max 3", s.P50)
+	}
+}

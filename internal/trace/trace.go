@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sslperf/internal/probe"
 )
 
 // Span categories used by the SSL stack. Category strings become the
@@ -39,11 +41,9 @@ const (
 
 // A Ref names a span in some trace: the link target for cross-trace
 // causality (a batch span pointing at the handshake spans it served).
-// The zero Ref means "no link".
-type Ref struct {
-	Trace uint64 `json:"trace"`
-	Span  uint64 `json:"span"`
-}
+// The zero Ref means "no link". It is the probe spine's SpanRef, so
+// engines can carry links without importing this package.
+type Ref = probe.SpanRef
 
 // A Span is one timed region. IDs are globally unique across the
 // tracer so Links are unambiguous.
