@@ -4,7 +4,7 @@
 GO ?= go
 HISTDIR ?= bench_history
 
-.PHONY: all build vet test race check clocklint loadsmoke checkdrift bench repro results examples clean
+.PHONY: all build vet test race check clocklint pathlenlint loadsmoke checkdrift bench repro results examples clean
 
 all: build vet test
 
@@ -33,10 +33,11 @@ race:
 check:
 	$(GO) vet ./...
 	$(MAKE) clocklint
+	$(MAKE) pathlenlint
 	$(GO) test -race ./internal/probe/... ./internal/telemetry/... ./internal/trace/... \
 		./internal/ssl/... ./internal/record/... ./internal/rsabatch/... \
 		./internal/handshake/... ./internal/accel/... ./internal/perf/... \
-		./internal/loadgen/... ./internal/baseline/...
+		./internal/loadgen/... ./internal/baseline/... ./internal/pathlen/...
 	$(MAKE) loadsmoke
 
 # The spine owns every clock read on the handshake and record hot
@@ -49,6 +50,23 @@ clocklint:
 	if [ -n "$$bad" ]; then \
 		echo "clocklint: direct clock reads on the probe-spine hot path (mark intentional ones with // lint:allow-clock):"; \
 		echo "$$bad"; exit 1; \
+	fi
+
+# Every probe.Step constant must carry a path-length row mapping in
+# internal/pathlen/steps.go (the stepClasses table), mirroring
+# clocklint's grep discipline: a new handshake step cannot ship
+# without deciding which /debug/pathlength class its bytes charge to.
+# TestStepClassesCoverProbeSteps enforces the same invariant
+# in-language; this catches it before the test suite even runs.
+pathlenlint:
+	@steps=$$(sed -n 's/^\t\(Step[A-Za-z0-9]*\) Step = iota.*/\1/p; s/^\t\(Step[A-Za-z0-9]*\)$$/\1/p' internal/probe/probe.go | sort -u); \
+	missing=""; \
+	for s in $$steps; do \
+		grep -q "probe\.$$s:" internal/pathlen/steps.go || missing="$$missing $$s"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "pathlenlint: probe.Step constants with no stepClasses row in internal/pathlen/steps.go:$$missing"; \
+		exit 1; \
 	fi
 
 # End-to-end smoke: sslload drives an in-process sslserver open-loop
@@ -87,6 +105,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'BenchmarkHandshakeProbe(Off|Sampled16|All)' \
 		-count 3 -name probe-overhead -out docs/BENCH_probe.json \
 		-note "Probe-spine fan-out cost on the full-handshake benchmark: Off is the sink-free nil-bus path (one pointer test per hook, zero allocations), Sampled16 the production 1-in-16 trace sampling, All the worst case with every sink adapter attached — anatomy fold + telemetry counters + always-on span building riding one event stream."
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench BenchmarkBulkPath \
+		-count 3 -name bulk-path -out docs/BENCH_bulk.json \
+		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12). The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, and 3DES a multiple of DES."
 
 # Regenerate every table and figure of the paper (plus the ablations).
 repro:

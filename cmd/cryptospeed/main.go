@@ -15,6 +15,7 @@ import (
 	"sslperf/internal/dh"
 	"sslperf/internal/hmacx"
 	"sslperf/internal/md5x"
+	"sslperf/internal/pathlen"
 	"sslperf/internal/perf"
 	"sslperf/internal/rc4"
 	"sslperf/internal/rsa"
@@ -48,7 +49,7 @@ func main() {
 		rsaBits = flag.Int("rsabits", 1024, "RSA key size")
 		batch   = flag.Int("batch", 0,
 			fmt.Sprintf("measure batch RSA decryption at widths 1..N instead of the full sweep (max %d)", rsabatch.MaxBatch))
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON (batch mode only)")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON")
 	)
 	flag.Parse()
 
@@ -58,10 +59,6 @@ func main() {
 			os.Exit(1)
 		}
 		return
-	}
-	if *jsonOut {
-		fmt.Fprintln(os.Stderr, "cryptospeed: -json requires -batch")
-		os.Exit(1)
 	}
 
 	type prim struct {
@@ -115,6 +112,42 @@ func main() {
 			hmacSHA1.Sum(nil)
 		}},
 	)
+
+	if *jsonOut {
+		// The bulk sweep in the units /debug/pathlength serves live:
+		// MB/s, ops/s, and cycles/byte at the model clock, with the
+		// abstract-instruction model columns where one exists.
+		var report bulkReport
+		report.ModelGHz = perf.ModelGHz()
+		for _, p := range prims {
+			pr := bulkPrim{Name: p.name}
+			if m, ok := pathlen.ModelFor(modelName(p.name)); ok {
+				pr.ModelCPI = m.CPI
+				pr.ModelInstrPerByte = m.InstrPerByte
+			}
+			for _, size := range sizes {
+				mbps := speed(size, *dur, p.fn)
+				pt := bulkPoint{
+					Size:          size,
+					MBps:          mbps,
+					OpsSec:        mbps * 1e6 / float64(size),
+					CyclesPerByte: perf.ModelGHz() * 1e3 / mbps,
+				}
+				if pr.ModelCPI > 0 {
+					pt.InstrPerByte = pt.CyclesPerByte / pr.ModelCPI
+				}
+				pr.Points = append(pr.Points, pt)
+			}
+			report.Prims = append(report.Prims, pr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	t := perf.NewTable("symmetric & hash throughput (MB/s)",
 		append([]string{"primitive"}, sizeHeaders()...)...)
@@ -177,6 +210,48 @@ func main() {
 	rt.AddRow("dh-1024 generate", fmt.Sprintf("%.1f", genRate), "")
 	rt.AddRow("dh-1024 agree", fmt.Sprintf("%.1f", ssRate), "")
 	fmt.Println(rt)
+}
+
+// bulkPoint is one (primitive, buffer size) measurement in the same
+// units the live /debug/pathlength fold reports.
+type bulkPoint struct {
+	Size          int     `json:"size"`
+	MBps          float64 `json:"mbps"`
+	OpsSec        float64 `json:"ops_per_sec"`
+	CyclesPerByte float64 `json:"cycles_per_byte"`
+	InstrPerByte  float64 `json:"instr_per_byte,omitempty"`
+}
+
+type bulkPrim struct {
+	Name              string      `json:"name"`
+	ModelCPI          float64     `json:"model_cpi,omitempty"`
+	ModelInstrPerByte float64     `json:"model_instr_per_byte,omitempty"`
+	Points            []bulkPoint `json:"points"`
+}
+
+type bulkReport struct {
+	ModelGHz float64    `json:"model_ghz"`
+	Prims    []bulkPrim `json:"prims"`
+}
+
+// modelName maps cryptospeed's primitive names onto the pathlen
+// model's rows (aes-256 and the HMACs have no model row).
+func modelName(name string) string {
+	switch name {
+	case "aes-128":
+		return "AES"
+	case "des":
+		return "DES"
+	case "3des":
+		return "3DES"
+	case "rc4":
+		return "RC4"
+	case "md5":
+		return "MD5"
+	case "sha1":
+		return "SHA-1"
+	}
+	return ""
 }
 
 // batchPoint is one width of the amortization curve.

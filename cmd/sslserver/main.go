@@ -21,6 +21,7 @@ import (
 
 	"sslperf/internal/baseline"
 	"sslperf/internal/handshake"
+	"sslperf/internal/pathlen"
 	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
@@ -56,8 +57,14 @@ func main() {
 			"cap sampled traces per second (0 = unlimited)")
 		pprofOn = flag.Bool("pprof", false,
 			"expose net/http/pprof under /debug/pprof/ on the telemetry address")
+		pprofLabels = flag.Bool("pprof-labels", false,
+			"attach pprof labels (sslstep/sslfn/sslcat/sslengine) to handshake, crypto, and bulk work so CPU profiles fold by Table 2 step")
 	)
 	flag.Parse()
+
+	if *pprofLabels {
+		probe.SetProfileLabels(true)
+	}
 
 	seedVal := *seed
 	if seedVal == 0 {
@@ -76,6 +83,7 @@ func main() {
 		cache:     handshake.NewSessionCache(4096),
 		telemetry: obs.reg,
 		tracer:    obs.tracer,
+		pathlen:   obs.pathlen,
 		seed:      seedVal,
 	}
 	if *suiteName != "" {
@@ -154,8 +162,9 @@ type probeFlags struct {
 // and span tracer the per-connection configs subscribe, plus the
 // engine sinks background engines (batch RSA) emit into.
 type observers struct {
-	reg    *telemetry.Registry
-	tracer *trace.Tracer
+	reg     *telemetry.Registry
+	tracer  *trace.Tracer
+	pathlen *pathlen.Collector
 }
 
 // engineSinks returns the probe sinks an engine should fan out to —
@@ -169,7 +178,7 @@ func (o *observers) engineSinks() []probe.Sink {
 // registry, mounts /metrics, /debug/flightrecorder, /debug/trace,
 // /debug/anatomy, /debug/health, and pprof on one mux, and serves it.
 func buildProbes(f probeFlags) *observers {
-	o := &observers{}
+	o := &observers{pathlen: pathlen.NewCollector()}
 	if f.TraceEvery > 0 {
 		o.tracer = trace.NewTracer(trace.Config{
 			SampleEvery: f.TraceEvery,
@@ -185,6 +194,7 @@ func buildProbes(f probeFlags) *observers {
 	o.reg = telemetry.NewRegistrySize(f.FlightRecorder)
 	mux := http.NewServeMux()
 	telemetry.Register(mux, o.reg)
+	pathlen.Register(mux, o.pathlen)
 	if o.tracer != nil {
 		// POST /debug/anatomy/reset clears the profiler and the
 		// metrics registry together, so "warm up, reset, measure"
@@ -218,6 +228,7 @@ type server struct {
 	cache     *handshake.SessionCache
 	telemetry *telemetry.Registry
 	tracer    *trace.Tracer
+	pathlen   *pathlen.Collector
 	suites    []suite.ID
 	version   uint16
 	seed      uint64
@@ -241,6 +252,9 @@ func (s *server) configFor() (*ssl.Config, *trace.ConnTrace) {
 		Suites:       s.suites,
 		Version:      s.version,
 		Telemetry:    s.telemetry,
+	}
+	if s.pathlen != nil {
+		cfg.Probes = []probe.Sink{s.pathlen}
 	}
 	ct := s.tracer.ConnBegin(id, "server")
 	if s.engine != nil {
@@ -272,14 +286,19 @@ func (s *server) serve(tc net.Conn, payload []byte) {
 	state, _ := conn.ConnectionState()
 	log.Printf("%s: %s resumed=%v", tc.RemoteAddr(), state.Suite.Name, state.Resumed)
 	buf := make([]byte, 4096)
-	for {
-		// One request (any read) -> one payload response.
-		if _, err := conn.Read(buf); err != nil {
-			return
+	// The bulk loop runs under the bulk_transfer pprof label (a no-op
+	// unless -pprof-labels armed them), so CPU profiles separate data
+	// transfer from Table 2 handshake steps.
+	probe.LabelBulkPhase(func() {
+		for {
+			// One request (any read) -> one payload response.
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			hdr := fmt.Sprintf("LEN %d\n", len(payload))
+			if _, err := conn.Write(append([]byte(hdr), payload...)); err != nil {
+				return
+			}
 		}
-		hdr := fmt.Sprintf("LEN %d\n", len(payload))
-		if _, err := conn.Write(append([]byte(hdr), payload...)); err != nil {
-			return
-		}
-	}
+	})
 }

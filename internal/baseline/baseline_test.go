@@ -196,3 +196,42 @@ func TestHistoryRoundTrip(t *testing.T) {
 		t.Fatal("110->400 step passed")
 	}
 }
+
+func TestBulkShape(t *testing.T) {
+	rows := func(rc4, aes, des, tdes, md5, sha float64) map[string]map[string]float64 {
+		return map[string]map[string]float64{
+			"BulkPath/RC4-MD5":      {"cipher-cyc/B": rc4, "mac-cyc/B": md5},
+			"BulkPath/RC4-SHA":      {"cipher-cyc/B": rc4, "mac-cyc/B": sha},
+			"BulkPath/AES128-SHA":   {"cipher-cyc/B": aes, "mac-cyc/B": sha},
+			"BulkPath/DES-CBC-SHA":  {"cipher-cyc/B": des, "mac-cyc/B": sha},
+			"BulkPath/DES-CBC3-SHA": {"cipher-cyc/B": tdes, "mac-cyc/B": sha},
+		}
+	}
+	good := report("bulk-path", rows(9, 27, 47, 132, 6, 14))
+	if v, known := CheckShape(good); !known || len(v) != 0 {
+		t.Fatalf("paper-shaped bulk report rejected: %v", v)
+	}
+	// RC4 costlier than AES: the Table 11 ordering inverted.
+	v, _ := CheckShape(report("bulk-path", rows(30, 27, 47, 132, 6, 14)))
+	if len(v) == 0 {
+		t.Fatal("inverted cipher ordering passed the bulk shape check")
+	}
+	if !strings.Contains(v[0].Check, "bulk-cipher-order") {
+		t.Fatalf("violation = %v, want bulk-cipher-order", v)
+	}
+	// MD5 costlier than SHA-1.
+	if v, _ := CheckShape(report("bulk-path", rows(9, 27, 47, 132, 15, 14))); len(v) == 0 {
+		t.Fatal("inverted MAC ordering passed the bulk shape check")
+	}
+	// 3DES degenerating to single-DES cost.
+	if v, _ := CheckShape(report("bulk-path", rows(9, 27, 47, 50, 6, 14))); len(v) == 0 {
+		t.Fatal("collapsed 3DES ratio passed the bulk shape check")
+	}
+	// A missing row is reported, not skipped.
+	partial := report("bulk-path", map[string]map[string]float64{
+		"BulkPath/RC4-MD5": {"cipher-cyc/B": 9, "mac-cyc/B": 6},
+	})
+	if v, _ := CheckShape(partial); len(v) == 0 {
+		t.Fatal("report with missing suites passed the bulk shape check")
+	}
+}

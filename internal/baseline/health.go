@@ -48,6 +48,31 @@ type AnatomyExpectation struct {
 	// 90.4%, measured 82.2%).
 	DominantCategory       string  `json:"dominant_category"`
 	MinDominantCategoryPct float64 `json:"min_dominant_category_pct"`
+
+	// Bulk is the bulk-path half of the expectation: Tables 11/12's
+	// per-byte orderings. It gates offline via `make checkdrift`
+	// against docs/BENCH_bulk.json (the "bulk-path" shape) rather
+	// than live at /debug/health, since cycles/byte needs a sustained
+	// transfer to mean anything.
+	Bulk BulkExpectation `json:"bulk"`
+}
+
+// BulkExpectation pins the paper's Table 11/12 per-byte cost
+// orderings for the bulk data path.
+type BulkExpectation struct {
+	// CheapCipher must cost fewer cycles/byte than CostlyCipher
+	// (Table 11: RC4 is the cheapest symmetric cipher, well under
+	// AES), and CheapMAC fewer than CostlyMAC (Table 12: MD5 under
+	// SHA-1).
+	CheapCipher  string `json:"cheap_cipher"`
+	CostlyCipher string `json:"costly_cipher"`
+	CheapMAC     string `json:"cheap_mac"`
+	CostlyMAC    string `json:"costly_mac"`
+
+	// MinTripleDESRatio floors 3DES/DES cycles-per-byte: three
+	// passes should cost ~3x one, so a ratio near 1 means the triple
+	// path collapsed.
+	MinTripleDESRatio float64 `json:"min_3des_des_ratio"`
 }
 
 // PaperExpectation returns the default expectation derived from the
@@ -60,6 +85,13 @@ func PaperExpectation() AnatomyExpectation {
 		MinCryptoPct:           60,
 		DominantCategory:       probe.CategoryPublic,
 		MinDominantCategoryPct: 50,
+		Bulk: BulkExpectation{
+			CheapCipher:       "RC4",
+			CostlyCipher:      "AES",
+			CheapMAC:          "MD5",
+			CostlyMAC:         "SHA-1",
+			MinTripleDESRatio: 1.8,
+		},
 	}
 }
 

@@ -32,8 +32,88 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 		return checkProbeShape(r), true
 	case "load-latency":
 		return checkLoadShape(r), true
+	case "bulk-path":
+		return checkBulkShape(r), true
 	}
 	return nil, false
+}
+
+// checkBulkShape pins the bulk-path orderings of the paper's Tables
+// 11/12 on the live cycles/byte fold, per PaperExpectation().Bulk:
+// RC4 must stay cheaper per byte than AES, MD5 cheaper than SHA-1
+// per MAC byte, and 3DES must cost a multiple of single DES. Values
+// come from the pathlen collector's cipher-cyc/B and mac-cyc/B
+// metrics in BENCH_bulk.json.
+func checkBulkShape(r *Report) []Violation {
+	var out []Violation
+	exp := PaperExpectation().Bulk
+	cipher := func(result string) (float64, bool) {
+		return r.Metric("BulkPath/"+result, "cipher-cyc/B")
+	}
+	mac := func(result string) (float64, bool) {
+		return r.Metric("BulkPath/"+result, "mac-cyc/B")
+	}
+
+	rc4, okRC4 := cipher("RC4-MD5")
+	aes, okAES := cipher("AES128-SHA")
+	des, okDES := cipher("DES-CBC-SHA")
+	tdes, okTDES := cipher("DES-CBC3-SHA")
+	md5, okMD5 := mac("RC4-MD5")
+	sha, okSHA := mac("RC4-SHA")
+
+	for _, m := range []struct {
+		ok   bool
+		name string
+	}{
+		{okRC4, "BulkPath/RC4-MD5 cipher-cyc/B"},
+		{okAES, "BulkPath/AES128-SHA cipher-cyc/B"},
+		{okDES, "BulkPath/DES-CBC-SHA cipher-cyc/B"},
+		{okTDES, "BulkPath/DES-CBC3-SHA cipher-cyc/B"},
+		{okMD5, "BulkPath/RC4-MD5 mac-cyc/B"},
+		{okSHA, "BulkPath/RC4-SHA mac-cyc/B"},
+	} {
+		if !m.ok {
+			out = append(out, Violation{"bulk-metrics", m.name + " missing"})
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+
+	positive := func(name string, v float64) {
+		if v <= 0 {
+			out = append(out, Violation{"bulk-positive",
+				fmt.Sprintf("%s cycles/byte %.3f, want > 0 (collector saw no bytes?)", name, v)})
+		}
+	}
+	positive("RC4", rc4)
+	positive("AES", aes)
+	positive("DES", des)
+	positive("3DES", tdes)
+	positive("MD5", md5)
+	positive("SHA-1", sha)
+	if len(out) > 0 {
+		return out
+	}
+
+	if rc4 >= aes {
+		out = append(out, Violation{"bulk-cipher-order",
+			fmt.Sprintf("%s %.2f cyc/B not cheaper than %s %.2f (Table 11 ordering inverted)",
+				exp.CheapCipher, rc4, exp.CostlyCipher, aes)})
+	}
+	if md5 >= sha {
+		out = append(out, Violation{"bulk-mac-order",
+			fmt.Sprintf("%s %.2f mac-cyc/B not cheaper than %s %.2f (Table 12 ordering inverted)",
+				exp.CheapMAC, md5, exp.CostlyMAC, sha)})
+	}
+	// 3DES is three DES passes; allow generous slack around 3x but a
+	// ratio near 1 means the triple path degenerated to single DES.
+	if ratio := tdes / des; ratio < exp.MinTripleDESRatio {
+		out = append(out, Violation{"bulk-3des-ratio",
+			fmt.Sprintf("3DES/DES cycles-per-byte ratio %.2f, want >= %.1f (triple pass collapsed?)",
+				ratio, exp.MinTripleDESRatio)})
+	}
+	return out
 }
 
 // checkBatchShape encodes the paper's batch-RSA claim (and Pateriya

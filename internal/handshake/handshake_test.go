@@ -200,7 +200,7 @@ func TestAnatomyNilSafe(t *testing.T) {
 	if err := bus.CryptoErr("g", func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	bus.RecordCrypto(probe.OpMACCompute, 1, bus.Stamp())
+	bus.RecordCrypto(probe.OpMACCompute, "MD5", 1, bus.Stamp())
 	bus.RecordIO(true, false, 1)
 }
 

@@ -109,6 +109,7 @@ func armWrite(version uint16, l *record.Layer, s *suite.Suite, key, iv, macSecre
 	if err != nil {
 		return err
 	}
+	l.SetPrimitives(s.CipherAlgo, s.MAC.String())
 	l.SetWriteState(c, m)
 	return nil
 }
@@ -123,6 +124,7 @@ func armRead(version uint16, l *record.Layer, s *suite.Suite, key, iv, macSecret
 	if err != nil {
 		return err
 	}
+	l.SetPrimitives(s.CipherAlgo, s.MAC.String())
 	l.SetReadState(c, m)
 	return nil
 }

@@ -133,6 +133,7 @@ type serverState struct {
 // buildCipherStates derives the key block and constructs both
 // directions' cipher and MAC objects — the full gen_key_block work.
 func (s *serverState) buildCipherStates() error {
+	s.layer.SetPrimitives(s.suite.CipherAlgo, s.suite.MAC.String())
 	s.keys = sliceKeyBlock(s.version, s.suite, s.master, s.clientHello.random[:], s.serverRandom[:])
 	var err error
 	if s.inCipher, err = s.suite.NewCipher(s.keys.clientKey, s.keys.clientIV, false); err != nil {

@@ -1,0 +1,45 @@
+package pathlen
+
+import (
+	"net/http"
+	"time"
+)
+
+// nsDur converts accumulated nanoseconds to a duration for the cycle
+// converters.
+func nsDur(ns uint64) time.Duration { return time.Duration(ns) }
+
+// Register mounts the observatory on mux:
+//
+//	/debug/pathlength        JSON snapshot (?format=text for tables)
+//	/debug/pathlength/reset  POST: zero the accumulators (with any
+//	                         extra reset hooks), so a drift window can
+//	                         be measured from a clean slate
+func Register(mux *http.ServeMux, c *Collector, onReset ...func()) {
+	mux.HandleFunc("/debug/pathlength", func(w http.ResponseWriter, req *http.Request) {
+		snap := c.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(snap.Text()))
+			return
+		}
+		b, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/pathlength/reset", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		c.Reset()
+		for _, f := range onReset {
+			f()
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}

@@ -1,0 +1,186 @@
+package pathlen
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"testing"
+
+	"sslperf/internal/probe"
+)
+
+// --- minimal profile.proto writer for the tests ---
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendField(b []byte, field int, v uint64) []byte {
+	b = appendVarint(b, uint64(field)<<3)
+	return appendVarint(b, v)
+}
+
+func appendBytes(b []byte, field int, payload []byte) []byte {
+	b = appendVarint(b, uint64(field)<<3|2)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+// testProfile builds a two-value (samples/count, cpu/nanoseconds)
+// profile whose samples carry the given label values under key.
+func testProfile(key string, samples []struct {
+	label string
+	nanos int64
+}) []byte {
+	// String table: index 0 must be "".
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", key}
+	idx := func(s string) uint64 {
+		for i, v := range strs {
+			if v == s {
+				return uint64(i)
+			}
+		}
+		strs = append(strs, s)
+		return uint64(len(strs) - 1)
+	}
+	var sampleMsgs [][]byte
+	for _, s := range samples {
+		var sm []byte
+		// packed values: [1 sample, nanos]
+		var packed []byte
+		packed = appendVarint(packed, 1)
+		packed = appendVarint(packed, uint64(s.nanos))
+		sm = appendBytes(sm, 2, packed)
+		if s.label != "" {
+			var lm []byte
+			lm = appendField(lm, 1, idx(key))
+			lm = appendField(lm, 2, idx(s.label))
+			sm = appendBytes(sm, 3, lm)
+		}
+		sampleMsgs = append(sampleMsgs, sm)
+	}
+	var prof []byte
+	var vt []byte
+	vt = appendField(vt, 1, idx("samples"))
+	vt = appendField(vt, 2, idx("count"))
+	prof = appendBytes(prof, 1, vt)
+	vt = nil
+	vt = appendField(vt, 1, idx("cpu"))
+	vt = appendField(vt, 2, idx("nanoseconds"))
+	prof = appendBytes(prof, 1, vt)
+	for _, sm := range sampleMsgs {
+		prof = appendBytes(prof, 2, sm)
+	}
+	for _, s := range strs {
+		prof = appendBytes(prof, 6, []byte(s))
+	}
+	return prof
+}
+
+func TestFoldProfileGroupsByLabel(t *testing.T) {
+	data := testProfile("sslstep", []struct {
+		label string
+		nanos int64
+	}{
+		{"send_finished", 3_000_000},
+		{"send_finished", 1_000_000},
+		{"get_client_kx", 6_000_000},
+		{"", 2_000_000},
+	})
+	rows, err := FoldProfile(data, "sslstep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Label != "get_client_kx" || rows[0].Nanos != 6_000_000 {
+		t.Errorf("top row = %+v, want get_client_kx 6ms", rows[0])
+	}
+	if rows[1].Label != "send_finished" || rows[1].Nanos != 4_000_000 || rows[1].Samples != 2 {
+		t.Errorf("row 1 = %+v, want send_finished 4ms over 2 samples", rows[1])
+	}
+	if rows[2].Label != FoldUnlabeled || rows[2].Nanos != 2_000_000 {
+		t.Errorf("row 2 = %+v, want %s 2ms", rows[2], FoldUnlabeled)
+	}
+	var share float64
+	for _, r := range rows {
+		share += r.SharePct
+	}
+	if share < 99.9 || share > 100.1 {
+		t.Errorf("shares sum to %v, want 100", share)
+	}
+}
+
+func TestFoldProfileGzipped(t *testing.T) {
+	raw := testProfile("sslstep", []struct {
+		label string
+		nanos int64
+	}{{"bulk_transfer", 1000}})
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw)
+	zw.Close()
+	rows, err := FoldProfile(buf.Bytes(), "sslstep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Label != "bulk_transfer" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestFoldProfileTruncated(t *testing.T) {
+	data := testProfile("k", []struct {
+		label string
+		nanos int64
+	}{{"v", 1}})
+	if _, err := FoldProfile(data[:len(data)-1], "k"); err == nil {
+		t.Error("no error on truncated profile")
+	}
+}
+
+// TestFoldRealProfile folds an actual runtime CPU profile captured
+// while labeled work spins, end-to-end through the gzip + protobuf
+// path. CPU sampling is statistical, so the test only requires that
+// the profile parses and that any labeled samples carry the step name
+// the bus set.
+func TestFoldRealProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpu profile capture in -short")
+	}
+	probe.SetProfileLabels(true)
+	defer probe.SetProfileLabels(false)
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cpu profiling unavailable: %v", err)
+	}
+	func() {
+		defer pprof.StopCPUProfile()
+		ctx := pprof.WithLabels(context.Background(),
+			pprof.Labels(probe.LabelKeyStep, probe.StepSendFinished.Name()))
+		pprof.Do(ctx, pprof.Labels(), func(context.Context) {
+			sink := 0
+			for i := 0; i < 5_000_000; i++ {
+				sink += i * i
+			}
+			_ = sink
+		})
+	}()
+
+	rows, err := FoldProfile(buf.Bytes(), probe.LabelKeyStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Label != FoldUnlabeled && r.Label != probe.StepSendFinished.Name() {
+			t.Errorf("unexpected label %q in folded profile", r.Label)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package pathlen
+
+import "sslperf/internal/probe"
+
+// StepClass groups Table-2 steps by the kind of work the path-length
+// fold expects from them. The classes drive nothing at runtime — they
+// make the live table legible and give the lint (make pathlenlint, and
+// TestStepClassesCoverProbeSteps) a single place that must name every
+// probe.Step constant, so adding a step without deciding its
+// path-length row is a build-gate event, not silent misattribution.
+type StepClass int
+
+// Step classes.
+const (
+	// ClassControl steps move the FSM without record crypto; crypto
+	// bytes landing on one is an attribution bug.
+	ClassControl StepClass = iota
+	// ClassCompute steps are dominated by handshake crypto calls
+	// (KindCrypto), which carry no byte counts.
+	ClassCompute
+	// ClassRecord steps push or open encrypted records, so they own
+	// RecordCrypto bytes; cycles/byte is meaningful here.
+	ClassRecord
+)
+
+// String names the class.
+func (c StepClass) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassCompute:
+		return "compute"
+	case ClassRecord:
+		return "record"
+	}
+	return "unknown"
+}
+
+// stepClasses maps every probe.Step constant onto its class. The
+// pathlenlint make target greps this table against the probe package's
+// Step constants; keep one "probe.StepX:" entry per line.
+var stepClasses = map[probe.Step]StepClass{
+	probe.StepNone:            ClassRecord, // bulk transfer
+	probe.StepInit:            ClassCompute,
+	probe.StepGetClientHello:  ClassControl,
+	probe.StepSendServerHello: ClassCompute,
+	probe.StepSendServerCert:  ClassControl,
+	probe.StepSendServerKX:    ClassCompute,
+	probe.StepSendServerDone:  ClassControl,
+	probe.StepGetClientKX:     ClassCompute,
+	probe.StepGenKeyBlock:     ClassCompute,
+	probe.StepGetFinished:     ClassRecord,
+	probe.StepSendCipherSpec:  ClassControl,
+	probe.StepSendFinished:    ClassRecord,
+	probe.StepServerFlush:     ClassControl,
+}
+
+// StepClassOf returns the step's path-length class.
+func StepClassOf(st probe.Step) StepClass {
+	c, ok := stepClasses[st]
+	if !ok {
+		return ClassControl
+	}
+	return c
+}
+
+// StepRowName names the step's snapshot row; StepNone renders as the
+// bulk-transfer row instead of an empty string.
+func StepRowName(st probe.Step) string {
+	if st == probe.StepNone {
+		return probe.LabelBulk
+	}
+	return st.Name()
+}

@@ -1,6 +1,9 @@
 package probe
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // A Sink consumes probe events. Emit is called synchronously on the
 // emitting goroutine, in sink attachment order; a slow sink slows the
@@ -34,6 +37,11 @@ type Bus struct {
 	cur       Step
 	open      bool
 	stepStart time.Time
+
+	// labelCtx carries the open step's pprof labels when profile
+	// labelling is enabled (see SetProfileLabels); nil otherwise. It is
+	// single-owner state like the step cursor.
+	labelCtx context.Context
 }
 
 // NewBus builds a bus over the non-nil sinks, returning nil (the
@@ -93,6 +101,9 @@ func (b *Bus) StepEnter(st Step) {
 	b.StepExit()
 	now := time.Now()
 	b.cur, b.open, b.stepStart = st, true, now
+	if ProfileLabels() {
+		b.labelCtx = labelStep(st)
+	}
 	b.emit(Event{Kind: KindStepEnter, Step: st, At: now})
 }
 
@@ -106,6 +117,10 @@ func (b *Bus) StepExit() {
 	b.open = false
 	b.emit(Event{Kind: KindStepExit, Step: b.cur, At: now, Dur: now.Sub(b.stepStart)})
 	b.cur = StepNone
+	if b.labelCtx != nil {
+		b.labelCtx = nil
+		clearLabels()
+	}
 }
 
 // Crypto runs fn, attributing its duration to the named crypto
@@ -116,7 +131,11 @@ func (b *Bus) Crypto(fn string, f func()) {
 		return
 	}
 	start := time.Now()
-	f()
+	if b.labelCtx != nil {
+		labelCrypto(b.labelCtx, fn, f)
+	} else {
+		f()
+	}
 	b.emit(Event{Kind: KindCrypto, Step: b.openStep(), Fn: fn, At: start, Dur: time.Since(start)})
 }
 
@@ -139,16 +158,18 @@ func (b *Bus) Stamp() time.Time {
 }
 
 // RecordCrypto reports one record-layer cipher/MAC pass over bytes of
-// payload that began at start (from Stamp). The event carries the
-// open handshake step, if any, so sinks can attribute the encrypted
+// payload that began at start (from Stamp). Prim names the primitive
+// doing the work ("RC4", "AES", "MD5", …) so per-primitive path-length
+// accounting needs no suite lookup. The event carries the open
+// handshake step, if any, so sinks can attribute the encrypted
 // finished messages to Table 2's pri_encryption/pri_decryption/mac
 // rows and leave bulk-phase work unattributed.
-func (b *Bus) RecordCrypto(op RecordOp, bytes int, start time.Time) {
+func (b *Bus) RecordCrypto(op RecordOp, prim string, bytes int, start time.Time) {
 	if b == nil {
 		return
 	}
 	b.emit(Event{Kind: KindRecordCrypto, Step: b.openStep(), Op: op,
-		Bytes: bytes, At: start, Dur: time.Since(start)})
+		Prim: prim, Bytes: bytes, At: start, Dur: time.Since(start)})
 }
 
 // RecordIO reports one framed record written or opened with its

@@ -215,8 +215,9 @@ const (
 	// it, Step is the enclosing step, At/Dur time it.
 	KindCrypto
 	// KindRecordCrypto is one record-layer cipher or MAC pass: Op
-	// identifies it, Bytes is the payload size, Step is the enclosing
-	// handshake step or StepNone during bulk transfer.
+	// identifies it, Prim names the primitive doing the work ("RC4",
+	// "AES", "MD5", …), Bytes is the payload size, Step is the
+	// enclosing handshake step or StepNone during bulk transfer.
 	KindRecordCrypto
 	// KindRecordIO is one framed record written (Written=true, per
 	// fragment) or successfully opened, with its plaintext size in
@@ -241,6 +242,7 @@ type Event struct {
 	Step    Step // enclosing step (step/crypto/record kinds)
 	Fn      string
 	Op      RecordOp
+	Prim    string // crypto primitive (KindRecordCrypto), e.g. "RC4"
 	Bytes   int
 	Value   int64
 	Written bool

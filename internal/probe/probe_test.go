@@ -159,13 +159,13 @@ func TestStepCursorAttribution(t *testing.T) {
 	}
 	b := NewBus(recordingSink{0, &log})
 	// Record crypto outside any step stays unattributed.
-	b.RecordCrypto(OpMACCompute, 10, b.Stamp())
+	b.RecordCrypto(OpMACCompute, "MD5", 10, b.Stamp())
 	b.StepEnter(StepSendFinished)
-	b.RecordCrypto(OpCipherEncrypt, 20, b.Stamp())
+	b.RecordCrypto(OpCipherEncrypt, "RC4", 20, b.Stamp())
 	// Entering a new step auto-closes the previous one.
 	b.StepEnter(StepServerFlush)
 	b.StepExit()
-	b.RecordCrypto(OpMACVerify, 30, b.Stamp())
+	b.RecordCrypto(OpMACVerify, "MD5", 30, b.Stamp())
 
 	var got []Step
 	for _, entry := range log {
@@ -201,7 +201,7 @@ func TestNilBusZeroAllocs(t *testing.T) {
 		b.Crypto(FnFinishMac, func() {})
 		_ = b.CryptoErr(FnGenKeyBlock, func() error { return nil })
 		b.StepExit()
-		b.RecordCrypto(OpMACCompute, 64, b.Stamp())
+		b.RecordCrypto(OpMACCompute, "MD5", 64, b.Stamp())
 		b.RecordIO(true, false, 64)
 		b.EngineValue("depth", 1)
 		b.EngineTimer("linger", time.Microsecond)

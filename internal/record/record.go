@@ -166,6 +166,13 @@ type Layer struct {
 	// bus costs one pointer test per hook and zero clock reads.
 	Probe *probe.Bus
 
+	// cipherPrim/macPrim name the primitives behind the armed cipher
+	// states ("RC4", "MD5", …); SetPrimitives installs them when the
+	// handshake arms encryption. They live on the layer, not the bus,
+	// so observer swaps (ssl.Conn.refreshBus) cannot lose them.
+	cipherPrim string
+	macPrim    string
+
 	// version is the pinned protocol version; 0 means flexible
 	// (accept SSL 3.0 or TLS 1.0, emit SSL 3.0) until the handshake
 	// negotiates and pins one via SetProtocolVersion.
@@ -214,20 +221,29 @@ func (l *Layer) versionOK(v uint16) bool {
 
 // timeCrypto runs fn, reporting it on the probe bus when one is
 // attached.
-func (l *Layer) timeCrypto(op CryptoOp, n int, fn func()) {
+func (l *Layer) timeCrypto(op CryptoOp, prim string, n int, fn func()) {
 	if l.Probe == nil {
 		fn()
 		return
 	}
 	start := l.Probe.Stamp()
 	fn()
-	l.Probe.RecordCrypto(op, n, start)
+	l.Probe.RecordCrypto(op, prim, n, start)
 }
 
 // NewLayer wraps rw in a record layer with NULL security (the state
 // before ChangeCipherSpec).
 func NewLayer(rw io.ReadWriter) *Layer {
 	return &Layer{rw: rw}
+}
+
+// SetPrimitives names the cipher and MAC primitives the armed states
+// use ("RC4", "AES", …; "MD5", "SHA-1"), so RecordCrypto events carry
+// per-primitive attribution. The handshake calls it alongside
+// SetWriteState/SetReadState; both directions share one suite, so one
+// pair covers the connection.
+func (l *Layer) SetPrimitives(cipher, mac string) {
+	l.cipherPrim, l.macPrim = cipher, mac
 }
 
 // SetWriteState installs the outbound cipher and MAC and resets the
@@ -271,7 +287,7 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 	if l.out.mac != nil {
 		start := l.Probe.Stamp()
 		body = l.out.mac.AppendCompute(body, l.out.seq, byte(typ), payload)
-		l.Probe.RecordCrypto(OpMACCompute, len(payload), start)
+		l.Probe.RecordCrypto(OpMACCompute, l.macPrim, len(payload), start)
 	}
 	if l.out.active() {
 		if bs := l.out.cipher.BlockSize(); bs > 1 {
@@ -290,7 +306,7 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 		}
 		start := l.Probe.Stamp()
 		l.out.cipher.Encrypt(body)
-		l.Probe.RecordCrypto(OpCipherEncrypt, len(body), start)
+		l.Probe.RecordCrypto(OpCipherEncrypt, l.cipherPrim, len(body), start)
 	}
 	hdr := [headerLen]byte{byte(typ)}
 	binary.BigEndian.PutUint16(hdr[1:], l.writeVersion())
@@ -377,7 +393,7 @@ func (l *Layer) open(typ ContentType, body []byte) ([]byte, error) {
 	if bs > 1 && len(body)%bs != 0 {
 		return nil, errors.New("record: ciphertext not a block multiple")
 	}
-	l.timeCrypto(OpCipherDecrypt, len(body), func() {
+	l.timeCrypto(OpCipherDecrypt, l.cipherPrim, len(body), func() {
 		l.in.cipher.Decrypt(body)
 	})
 	if bs > 1 {
@@ -417,7 +433,7 @@ func (l *Layer) checkMAC(typ ContentType, body []byte) ([]byte, error) {
 	}
 	payload, mac := body[:len(body)-macLen], body[len(body)-macLen:]
 	var ok bool
-	l.timeCrypto(OpMACVerify, len(payload), func() {
+	l.timeCrypto(OpMACVerify, l.macPrim, len(payload), func() {
 		ok = l.in.mac.Verify(l.in.seq, byte(typ), payload, mac)
 	})
 	if !ok {

@@ -347,7 +347,15 @@ func (e *Engine) runBatch(batch []*request) {
 		idxs[i] = req.idx
 		cts[i] = req.ct
 	}
-	pts, errs, err := e.ks.DecryptBatch(e.cfg.Rand, idxs, cts)
+	var pts [][]byte
+	var errs []error
+	var err error
+	// Label the batched tree walk so CPU profiles attribute its
+	// samples to sslengine=rsa_batch even though it runs off the
+	// handshake goroutines (no-op unless profile labels are armed).
+	probe.LabelEngine("rsa_batch", func() {
+		pts, errs, err = e.ks.DecryptBatch(e.cfg.Rand, idxs, cts)
+	})
 	if err != nil {
 		// Whole-batch failure (e.g. a degenerate ciphertext made a
 		// tree value non-invertible): every request falls back to the

@@ -1,0 +1,99 @@
+package ssl
+
+import (
+	"io"
+	"testing"
+
+	"sslperf/internal/pathlen"
+	"sslperf/internal/probe"
+	"sslperf/internal/suite"
+)
+
+// BenchmarkBulkPath measures the server-side bulk transfer path per
+// suite — the workload behind docs/BENCH_bulk.json and the live
+// /debug/pathlength table. A pathlen collector rides the server's
+// spine; after the timed transfer its fold yields the cipher and MAC
+// cycles/byte (and, via the abstract-instruction CPI, the measured
+// instructions/byte) that the baseline bulk-path shape gates: RC4 must
+// stay cheaper per byte than AES and MD5 cheaper than SHA-1, the
+// ordering the paper's Tables 11/12 report.
+func BenchmarkBulkPath(b *testing.B) {
+	for _, name := range []string{
+		"RC4-MD5", "RC4-SHA", "DES-CBC-SHA", "DES-CBC3-SHA",
+		"AES128-SHA", "AES256-SHA", "NULL-MD5",
+	} {
+		b.Run(name, func(b *testing.B) { benchBulkPath(b, name) })
+	}
+}
+
+const bulkChunk = 16384 // one max-size record per write
+
+func benchBulkPath(b *testing.B, suiteName string) {
+	s, err := suite.ByName(suiteName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := pathlen.NewCollector()
+	id := identity(b)
+	scfg := id.ServerConfig(NewPRNG(77))
+	scfg.Suites = []suite.ID{s.ID}
+	scfg.Probes = []probe.Sink{col}
+	ccfg := clientCfg(func(c *Config) { c.Suites = []suite.ID{s.ID} })
+	client, server := connect(b, ccfg, scfg)
+	defer client.Close()
+	defer server.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		io.Copy(io.Discard, client)
+	}()
+
+	payload := make([]byte, bulkChunk)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Drop the handshake's contribution so the fold is pure bulk.
+	col.Reset()
+	b.SetBytes(bulkChunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	snap := col.Snapshot()
+	ciph, ok := snap.Prim(s.CipherAlgo)
+	if !ok {
+		b.Fatalf("no %s row in pathlen snapshot", s.CipherAlgo)
+	}
+	mac, ok := snap.Prim(s.MAC.String())
+	if !ok {
+		b.Fatalf("no %s row in pathlen snapshot", s.MAC.String())
+	}
+	b.ReportMetric(ciph.CyclesPerByte, "cipher-cyc/B")
+	b.ReportMetric(mac.CyclesPerByte, "mac-cyc/B")
+	if ciph.InstrPerByte > 0 {
+		b.ReportMetric(ciph.InstrPerByte, "cipher-instr/B")
+	}
+	if mac.InstrPerByte > 0 {
+		b.ReportMetric(mac.InstrPerByte, "mac-instr/B")
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)*bulkChunk/1e6/elapsed, "MB/s")
+	}
+
+	// Close the server first: its close_notify wakes the drain
+	// goroutine out of client.Read (which holds the client Conn's
+	// mutex while parked), so client.Close can then take the lock.
+	server.Close()
+	<-drained
+	client.Close()
+
+	if snap.BytesOut == 0 {
+		b.Fatal("collector saw no outbound bytes")
+	}
+}

@@ -66,6 +66,12 @@ type Suite struct {
 	IVLen  int // IV bytes (0 for stream ciphers)
 	MAC    sslcrypto.MACAlgorithm
 
+	// CipherAlgo names the symmetric primitive ("RC4", "DES", "3DES",
+	// "AES", "NULL") — the row key the path-length observatory and the
+	// paper's Tables 11/12 account per-primitive work under,
+	// independent of key size.
+	CipherAlgo string
+
 	newCipher func(key, iv []byte, encrypt bool) (RecordCipher, error)
 }
 
@@ -154,7 +160,7 @@ func register(s *Suite) {
 
 func init() {
 	register(&Suite{
-		ID: RSAWithRC4128MD5, Name: "RC4-MD5",
+		ID: RSAWithRC4128MD5, Name: "RC4-MD5", CipherAlgo: "RC4",
 		KeyLen: 16, IVLen: 0, MAC: sslcrypto.MACMD5,
 		newCipher: func(key, _ []byte, _ bool) (RecordCipher, error) {
 			c, err := rc4.New(key)
@@ -165,7 +171,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: RSAWithRC4128SHA, Name: "RC4-SHA",
+		ID: RSAWithRC4128SHA, Name: "RC4-SHA", CipherAlgo: "RC4",
 		KeyLen: 16, IVLen: 0, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, _ []byte, _ bool) (RecordCipher, error) {
 			c, err := rc4.New(key)
@@ -176,7 +182,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: RSAWithDESCBCSHA, Name: "DES-CBC-SHA",
+		ID: RSAWithDESCBCSHA, Name: "DES-CBC-SHA", CipherAlgo: "DES",
 		KeyLen: 8, IVLen: 8, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := des.New(key)
@@ -187,7 +193,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: RSAWith3DESEDECBCSHA, Name: "DES-CBC3-SHA",
+		ID: RSAWith3DESEDECBCSHA, Name: "DES-CBC3-SHA", CipherAlgo: "3DES",
 		KeyLen: 24, IVLen: 8, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := des.NewTriple(key)
@@ -198,7 +204,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: RSAWithAES128CBCSHA, Name: "AES128-SHA",
+		ID: RSAWithAES128CBCSHA, Name: "AES128-SHA", CipherAlgo: "AES",
 		KeyLen: 16, IVLen: 16, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := aes.New(key)
@@ -209,7 +215,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: RSAWithAES256CBCSHA, Name: "AES256-SHA",
+		ID: RSAWithAES256CBCSHA, Name: "AES256-SHA", CipherAlgo: "AES",
 		KeyLen: 32, IVLen: 16, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := aes.New(key)
@@ -220,7 +226,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: DHERSAWith3DESEDECBCSHA, Name: "EDH-RSA-DES-CBC3-SHA", Kx: KxDHERSA,
+		ID: DHERSAWith3DESEDECBCSHA, Name: "EDH-RSA-DES-CBC3-SHA", Kx: KxDHERSA, CipherAlgo: "3DES",
 		KeyLen: 24, IVLen: 8, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := des.NewTriple(key)
@@ -231,7 +237,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: DHERSAWithAES128CBCSHA, Name: "DHE-RSA-AES128-SHA", Kx: KxDHERSA,
+		ID: DHERSAWithAES128CBCSHA, Name: "DHE-RSA-AES128-SHA", Kx: KxDHERSA, CipherAlgo: "AES",
 		KeyLen: 16, IVLen: 16, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := aes.New(key)
@@ -242,7 +248,7 @@ func init() {
 		},
 	})
 	register(&Suite{
-		ID: DHERSAWithAES256CBCSHA, Name: "DHE-RSA-AES256-SHA", Kx: KxDHERSA,
+		ID: DHERSAWithAES256CBCSHA, Name: "DHE-RSA-AES256-SHA", Kx: KxDHERSA, CipherAlgo: "AES",
 		KeyLen: 32, IVLen: 16, MAC: sslcrypto.MACSHA1,
 		newCipher: func(key, iv []byte, encrypt bool) (RecordCipher, error) {
 			blk, err := aes.New(key)
@@ -255,12 +261,12 @@ func init() {
 	// NULL suites register last so default preference lists put real
 	// ciphers first; they exist as the paper's no-crypto baseline.
 	register(&Suite{
-		ID: RSAWithNullMD5, Name: "NULL-MD5",
+		ID: RSAWithNullMD5, Name: "NULL-MD5", CipherAlgo: "NULL",
 		KeyLen: 0, IVLen: 0, MAC: sslcrypto.MACMD5,
 		newCipher: func(_, _ []byte, _ bool) (RecordCipher, error) { return nullCipher{}, nil },
 	})
 	register(&Suite{
-		ID: RSAWithNullSHA, Name: "NULL-SHA",
+		ID: RSAWithNullSHA, Name: "NULL-SHA", CipherAlgo: "NULL",
 		KeyLen: 0, IVLen: 0, MAC: sslcrypto.MACSHA1,
 		newCipher: func(_, _ []byte, _ bool) (RecordCipher, error) { return nullCipher{}, nil },
 	})

@@ -69,6 +69,17 @@ func (s Snapshot) Text() string {
 	sb.WriteString(counters.String())
 	sb.WriteByte('\n')
 
+	rt := perf.NewTable("go runtime", "metric", "value")
+	rt.AddRow("goroutines", fmt.Sprint(s.Runtime.Goroutines))
+	rt.AddRow("heap_inuse_bytes", fmt.Sprint(s.Runtime.HeapInuseBytes))
+	rt.AddRow("gc_pause_p50", s.Runtime.GCPauseP50.String())
+	rt.AddRow("gc_pause_p99", s.Runtime.GCPauseP99.String())
+	rt.AddRow("sched_latency_p50", s.Runtime.SchedLatP50.String())
+	rt.AddRow("sched_latency_p99", s.Runtime.SchedLatP99.String())
+	rt.AddRow("sched_latency_max", s.Runtime.SchedLatMax.String())
+	sb.WriteString(rt.String())
+	sb.WriteByte('\n')
+
 	lat := perf.NewTable("handshake latency (kcycles)",
 		"kind", "n", "mean", "p50", "p90", "p99", "max")
 	histRow(lat, "full", s.FullLatency)

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime metric names read from runtime/metrics. GC pauses carry a
+// fallback name for toolchains predating the /sched/pauses tree.
+const (
+	metricGoroutines  = "/sched/goroutines:goroutines"
+	metricHeapObjects = "/memory/classes/heap/objects:bytes"
+	metricGCPauses    = "/sched/pauses/total/gc:seconds"
+	metricGCPausesOld = "/gc/pauses:seconds"
+	metricSchedLat    = "/sched/latencies:seconds"
+)
+
+// RuntimeSnapshot is the Go runtime's health as it bears on latency
+// experiments: goroutine count, live heap, GC stop-the-world pause
+// quantiles, and the scheduler-latency distribution (how long ready
+// goroutines waited for a P). High sched latency or GC pauses mean
+// load-generator readings include runtime noise, not just SSL cost.
+type RuntimeSnapshot struct {
+	Goroutines     uint64        `json:"goroutines"`
+	HeapInuseBytes uint64        `json:"heap_inuse_bytes"`
+	GCPauseP50     time.Duration `json:"gc_pause_p50_ns"`
+	GCPauseP99     time.Duration `json:"gc_pause_p99_ns"`
+	SchedLatP50    time.Duration `json:"sched_latency_p50_ns"`
+	SchedLatP99    time.Duration `json:"sched_latency_p99_ns"`
+	SchedLatMax    time.Duration `json:"sched_latency_max_ns"`
+}
+
+// ReadRuntime samples the runtime/metrics the snapshot reports.
+// Metrics a toolchain does not export read as zero.
+func ReadRuntime() RuntimeSnapshot {
+	samples := []metrics.Sample{
+		{Name: metricGoroutines},
+		{Name: metricHeapObjects},
+		{Name: metricGCPauses},
+		{Name: metricGCPausesOld},
+		{Name: metricSchedLat},
+	}
+	metrics.Read(samples)
+
+	var rs RuntimeSnapshot
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		rs.Goroutines = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		rs.HeapInuseBytes = samples[1].Value.Uint64()
+	}
+	gc := samples[2]
+	if gc.Value.Kind() != metrics.KindFloat64Histogram {
+		gc = samples[3]
+	}
+	if gc.Value.Kind() == metrics.KindFloat64Histogram {
+		h := gc.Value.Float64Histogram()
+		rs.GCPauseP50 = secondsToDuration(histQuantile(h, 0.50))
+		rs.GCPauseP99 = secondsToDuration(histQuantile(h, 0.99))
+	}
+	if samples[4].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[4].Value.Float64Histogram()
+		rs.SchedLatP50 = secondsToDuration(histQuantile(h, 0.50))
+		rs.SchedLatP99 = secondsToDuration(histQuantile(h, 0.99))
+		rs.SchedLatMax = secondsToDuration(histMax(h))
+	}
+	return rs
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if math.IsInf(s, 0) || math.IsNaN(s) || s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// histQuantile returns the q-quantile of a runtime Float64Histogram:
+// the upper edge of the bucket where the cumulative count crosses q.
+// An empty histogram reads 0. Infinite bucket edges fall back to the
+// nearest finite edge so a tail quantile stays renderable.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(total)))
+	if want == 0 {
+		want = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= want {
+			return finiteEdge(h.Buckets, i+1)
+		}
+	}
+	return finiteEdge(h.Buckets, len(h.Buckets)-1)
+}
+
+// histMax returns the upper edge of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return finiteEdge(h.Buckets, i+1)
+		}
+	}
+	return 0
+}
+
+// finiteEdge returns Buckets[i], walking inward past ±Inf edges.
+func finiteEdge(buckets []float64, i int) float64 {
+	if i >= len(buckets) {
+		i = len(buckets) - 1
+	}
+	for i > 0 && math.IsInf(buckets[i], 0) {
+		i--
+	}
+	if i < 0 || math.IsInf(buckets[i], 0) {
+		return 0
+	}
+	return buckets[i]
+}

@@ -314,6 +314,7 @@ type Snapshot struct {
 	Values         []ValueSnapshot   `json:"values,omitempty"`
 	EventsRecorded uint64            `json:"events_recorded"`
 	EventsRetained int               `json:"events_retained"`
+	Runtime        RuntimeSnapshot   `json:"runtime"`
 }
 
 // Snapshot captures the registry's current state.
@@ -343,6 +344,7 @@ func (r *Registry) Snapshot() Snapshot {
 		ResumedLatency: r.resumedLatency.Snapshot(),
 		EventsRecorded: r.recorder.Total(),
 		EventsRetained: r.recorder.Len(),
+		Runtime:        ReadRuntime(),
 	}
 	r.mu.Lock()
 	s.Handshakes.BySuite = copyMap(r.bySuite)

@@ -228,3 +228,35 @@ func TestSnapshotRenderers(t *testing.T) {
 		}
 	}
 }
+
+func TestRuntimeSnapshot(t *testing.T) {
+	rs := ReadRuntime()
+	if rs.Goroutines == 0 {
+		t.Error("goroutine count = 0, want >= 1 (this test is running)")
+	}
+	if rs.HeapInuseBytes == 0 {
+		t.Error("heap in-use = 0 bytes")
+	}
+	// Pause/latency quantiles may legitimately be zero in a fresh
+	// process (no GC yet), but must be ordered when present.
+	if rs.GCPauseP50 > rs.GCPauseP99 {
+		t.Errorf("gc pause p50 %v > p99 %v", rs.GCPauseP50, rs.GCPauseP99)
+	}
+	if rs.SchedLatP50 > rs.SchedLatP99 || rs.SchedLatP99 > rs.SchedLatMax {
+		t.Errorf("sched latency not monotone: p50 %v p99 %v max %v",
+			rs.SchedLatP50, rs.SchedLatP99, rs.SchedLatMax)
+	}
+
+	// The registry snapshot carries it, so /metrics serves it.
+	r := NewRegistry()
+	s := r.Snapshot()
+	if s.Runtime.Goroutines == 0 {
+		t.Error("registry snapshot missing runtime section")
+	}
+	text := s.Text()
+	for _, want := range []string{"go runtime", "goroutines", "sched_latency_p99"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q", want)
+		}
+	}
+}
