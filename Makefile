@@ -25,17 +25,18 @@ race:
 
 # CI gate: static checks plus the race detector on the packages that
 # live connections emit through concurrently: the probe spine and its
-# sink adapters (telemetry, the span tracer), the record layer, the
-# batch-RSA and accel engines, the handshake session cache, perf
-# (whose model-GHz setting is shared mutable state), and the load
-# generator + drift engine — then a real end-to-end smoke through
-# sslload's in-process server.
+# sink adapters (telemetry, the span tracer), the record layer and the
+# macpipe sealing pipeline behind its flight path, the batch-RSA and
+# accel engines, the handshake session cache, perf (whose model-GHz
+# setting is shared mutable state), and the load generator + drift
+# engine — then a real end-to-end smoke through sslload's in-process
+# server.
 check:
 	$(GO) vet ./...
 	$(MAKE) clocklint
 	$(MAKE) pathlenlint
 	$(GO) test -race ./internal/probe/... ./internal/telemetry/... ./internal/trace/... \
-		./internal/ssl/... ./internal/record/... ./internal/rsabatch/... \
+		./internal/ssl/... ./internal/record/... ./internal/macpipe/... ./internal/rsabatch/... \
 		./internal/handshake/... ./internal/accel/... ./internal/perf/... \
 		./internal/loadgen/... ./internal/baseline/... ./internal/pathlen/...
 	$(MAKE) loadsmoke
@@ -107,7 +108,7 @@ bench:
 		-note "Probe-spine fan-out cost on the full-handshake benchmark: Off is the sink-free nil-bus path (one pointer test per hook, zero allocations), Sampled16 the production 1-in-16 trace sampling, All the worst case with every sink adapter attached — anatomy fold + telemetry counters + always-on span building riding one event stream."
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench BenchmarkBulkPath \
 		-count 3 -name bulk-path -out docs/BENCH_bulk.json \
-		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12). The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, and 3DES a multiple of DES."
+		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12), plus the syscall story — writes/record (1.0 contiguous seal, ~1/64 vectored) and MB/s + records/s for the -seq1m (1MiB writes, flight off) vs -vec (flight pipeline) pair. The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, 3DES a multiple of DES, writes/record at or under 1, and vectored throughput at or above the same-size sequential baseline."
 
 # Regenerate every table and figure of the paper (plus the ablations).
 repro:

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,10 +19,12 @@ import (
 	"sslperf/internal/pathlen"
 	"sslperf/internal/perf"
 	"sslperf/internal/rc4"
+	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/rsabatch"
 	"sslperf/internal/sha1x"
 	"sslperf/internal/ssl"
+	"sslperf/internal/suite"
 	"sslperf/internal/workload"
 )
 
@@ -140,6 +143,12 @@ func main() {
 			}
 			report.Prims = append(report.Prims, pr)
 		}
+		points, err := recordSweep(*dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.RecordPath = points
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
@@ -159,6 +168,22 @@ func main() {
 		t.AddRow(row...)
 	}
 	fmt.Println(t)
+
+	// Sealed record path: the flight-width amortization curve.
+	points, err := recordSweep(*dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rpt := perf.NewTable("sealed record path, 1 MiB writes (width -1 = sequential, 0 = auto)",
+		"suite", "width", "MB/s", "records/s", "syscalls/record")
+	for _, p := range points {
+		rpt.AddRow(p.Suite, fmt.Sprintf("%d", p.Width),
+			fmt.Sprintf("%.1f", p.MBps),
+			fmt.Sprintf("%.0f", p.RecordsSec),
+			fmt.Sprintf("%.4f", p.SyscallsPerRecord))
+	}
+	fmt.Println(rpt)
 
 	// RSA op rates.
 	fmt.Printf("generating %d-bit RSA key...\n", *rsaBits)
@@ -230,8 +255,101 @@ type bulkPrim struct {
 }
 
 type bulkReport struct {
-	ModelGHz float64    `json:"model_ghz"`
-	Prims    []bulkPrim `json:"prims"`
+	ModelGHz   float64       `json:"model_ghz"`
+	Prims      []bulkPrim    `json:"prims"`
+	RecordPath []recordPoint `json:"record_path"`
+}
+
+// recordPoint is one (suite, flight width) measurement of the sealed
+// record path — the flight-width amortization curve in machine-
+// readable form. Width -1 is the sequential record-at-a-time path
+// (flights disabled), 0 one MAC lane per core, n a fixed lane count;
+// syscalls/record is transport writes per sealed record (1 on the
+// sequential path, ~1/64 once a flight window flushes vectored).
+type recordPoint struct {
+	Suite             string  `json:"suite"`
+	Width             int     `json:"width"`
+	MBps              float64 `json:"mbps"`
+	RecordsSec        float64 `json:"records_per_sec"`
+	SyscallsPerRecord float64 `json:"syscalls_per_record"`
+}
+
+// vecDiscard is /dev/null with a vectored entry point, so the sweep
+// measures sealing and flush batching rather than a transport.
+type vecDiscard struct{}
+
+func (vecDiscard) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (vecDiscard) Write(p []byte) (int, error) { return len(p), nil }
+func (vecDiscard) WriteBuffers(bufs [][]byte) (int64, error) {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n, nil
+}
+
+// recordSweep drives 1 MiB application writes through an armed record
+// layer at each pipeline width, for the gate pair of suites (the
+// cheap stream cipher and the block cipher the bulk baseline tracks).
+func recordSweep(dur time.Duration) ([]recordPoint, error) {
+	const chunk = 1 << 20
+	payload := workload.Payload(chunk)
+	var out []recordPoint
+	for _, name := range []string{"RC4-MD5", "AES128-SHA"} {
+		s, err := suite.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, width := range []int{-1, 1, 2, 4, 0} {
+			l := record.NewLayer(vecDiscard{})
+			key := workload.Payload(s.KeyLen)
+			iv := workload.Payload(s.IVLen)
+			wc, err := s.NewCipher(key, iv, true)
+			if err != nil {
+				return nil, err
+			}
+			wm, err := s.NewMAC(workload.Payload(s.MACLen()))
+			if err != nil {
+				return nil, err
+			}
+			l.SetWriteState(wc, wm)
+			write := func() error {
+				if width < 0 {
+					return l.WriteRecord(record.TypeApplicationData, payload)
+				}
+				return l.WriteFlight(record.TypeApplicationData, payload)
+			}
+			if width >= 0 {
+				l.SetSealPipeline(width)
+			}
+			// Warm: build flight state, fill the seal pool.
+			if err := write(); err != nil {
+				return nil, err
+			}
+			before := l.Stats
+			var n int
+			start := time.Now()
+			for time.Since(start) < dur {
+				if err := write(); err != nil {
+					return nil, err
+				}
+				n++
+			}
+			elapsed := time.Since(start).Seconds()
+			records := l.Stats.RecordsWritten - before.RecordsWritten
+			writes := l.Stats.WriteCalls - before.WriteCalls
+			pt := recordPoint{Suite: name, Width: width}
+			if elapsed > 0 {
+				pt.MBps = float64(n) * chunk / elapsed / 1e6
+				pt.RecordsSec = float64(records) / elapsed
+			}
+			if records > 0 {
+				pt.SyscallsPerRecord = float64(writes) / float64(records)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
 }
 
 // modelName maps cryptospeed's primitive names onto the pathlen

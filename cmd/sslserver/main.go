@@ -55,6 +55,8 @@ func main() {
 			"span-trace 1 in N connections on /debug/trace and /debug/anatomy (0 = off, 1 = every)")
 		traceRate = flag.Int("tracerate", 0,
 			"cap sampled traces per second (0 = unlimited)")
+		bulkWidth = flag.Int("bulkwidth", 0,
+			"flight-sealing MAC pipeline width for large writes: 0 = one lane per core, 1 = sequential MACs (still vectored), <0 = disable the flight path")
 		pprofOn = flag.Bool("pprof", false,
 			"expose net/http/pprof under /debug/pprof/ on the telemetry address")
 		pprofLabels = flag.Bool("pprof-labels", false,
@@ -85,6 +87,7 @@ func main() {
 		tracer:    obs.tracer,
 		pathlen:   obs.pathlen,
 		seed:      seedVal,
+		bulkWidth: *bulkWidth,
 	}
 	if *suiteName != "" {
 		s, err := suite.ByName(*suiteName)
@@ -232,6 +235,7 @@ type server struct {
 	suites    []suite.ID
 	version   uint16
 	seed      uint64
+	bulkWidth int
 	connSeq   atomic.Uint64
 }
 
@@ -252,6 +256,8 @@ func (s *server) configFor() (*ssl.Config, *trace.ConnTrace) {
 		Suites:       s.suites,
 		Version:      s.version,
 		Telemetry:    s.telemetry,
+
+		BulkPipelineWidth: s.bulkWidth,
 	}
 	if s.pathlen != nil {
 		cfg.Probes = []probe.Sink{s.pathlen}

@@ -5,6 +5,7 @@ import (
 
 	"sslperf/internal/aes"
 	"sslperf/internal/cbc"
+	"sslperf/internal/macpipe"
 	"sslperf/internal/perf"
 	"sslperf/internal/probe"
 	"sslperf/internal/sslcrypto"
@@ -88,24 +89,42 @@ func (e *Engine) EncryptFragmentSerial(data []byte) ([]byte, error) {
 	return frag, nil
 }
 
+// hashTask is one hashing-unit assignment handed to the shared
+// macpipe pool; done closes when the MAC is ready.
+type hashTask struct {
+	run  func()
+	done chan struct{}
+}
+
+// Run implements macpipe.Task.
+func (t *hashTask) Run() {
+	t.run()
+	close(t.done)
+}
+
 // EncryptFragmentPipelined overlaps the hashing unit with the AES
 // unit: the data blocks are CBC-encrypted while the MAC is computed
 // concurrently; the MAC+padding tail is encrypted afterwards,
-// chained off the last data block as CBC requires.
+// chained off the last data block as CBC requires. The hashing unit
+// is a macpipe worker — the same shared pool the record layer's
+// flight sealing draws lanes from — so a fleet of engines pins
+// GOMAXPROCS goroutines rather than one per fragment; when the pool
+// is saturated the MAC runs inline after the data blocks (correct,
+// just not overlapped).
 func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	bs := e.aes.BlockSize()
-	macCh := make(chan []byte, 1)
 	seq := e.seq
 	e.seq++
 	// Resolve the bus once, on the caller's goroutine, before the
 	// hashing unit forks; the bus itself is stateless on this path so
 	// both units can emit through it concurrently.
 	bus := e.unitBus()
-	go func() {
-		var mac []byte
+	var mac []byte
+	t := &hashTask{done: make(chan struct{})}
+	t.run = func() {
 		bus.Timed("mac", func() { mac = e.mac.Compute(seq, 23, data) })
-		macCh <- mac
-	}()
+	}
+	inline := !macpipe.Submit(t)
 
 	macLen := e.mac.Size()
 	n := e.pad(len(data) + macLen)
@@ -121,7 +140,10 @@ func (e *Engine) EncryptFragmentPipelined(data []byte) ([]byte, error) {
 	bus.Timed("aes", func() { enc.CryptBlocks(frag[:whole], frag[:whole]) })
 
 	// Join: place MAC and padding, then encrypt the tail.
-	mac := <-macCh
+	if inline {
+		t.Run()
+	}
+	<-t.done
 	copy(frag[len(data):], mac)
 	frag[n-1] = byte(n - len(data) - macLen - 1)
 	bus.Timed("aes", func() { enc.CryptBlocks(frag[whole:], frag[whole:]) })

@@ -200,11 +200,15 @@ func TestHistoryRoundTrip(t *testing.T) {
 func TestBulkShape(t *testing.T) {
 	rows := func(rc4, aes, des, tdes, md5, sha float64) map[string]map[string]float64 {
 		return map[string]map[string]float64{
-			"BulkPath/RC4-MD5":      {"cipher-cyc/B": rc4, "mac-cyc/B": md5},
-			"BulkPath/RC4-SHA":      {"cipher-cyc/B": rc4, "mac-cyc/B": sha},
-			"BulkPath/AES128-SHA":   {"cipher-cyc/B": aes, "mac-cyc/B": sha},
-			"BulkPath/DES-CBC-SHA":  {"cipher-cyc/B": des, "mac-cyc/B": sha},
-			"BulkPath/DES-CBC3-SHA": {"cipher-cyc/B": tdes, "mac-cyc/B": sha},
+			"BulkPath/RC4-MD5":          {"cipher-cyc/B": rc4, "mac-cyc/B": md5, "writes/record": 1, "MB/s": 70},
+			"BulkPath/RC4-SHA":          {"cipher-cyc/B": rc4, "mac-cyc/B": sha, "writes/record": 1, "MB/s": 60},
+			"BulkPath/AES128-SHA":       {"cipher-cyc/B": aes, "mac-cyc/B": sha, "writes/record": 1, "MB/s": 45},
+			"BulkPath/DES-CBC-SHA":      {"cipher-cyc/B": des, "mac-cyc/B": sha, "writes/record": 1, "MB/s": 30},
+			"BulkPath/DES-CBC3-SHA":     {"cipher-cyc/B": tdes, "mac-cyc/B": sha, "writes/record": 1, "MB/s": 12},
+			"BulkPath/RC4-MD5-seq1m":    {"writes/record": 1, "MB/s": 69},
+			"BulkPath/RC4-MD5-vec":      {"writes/record": 1.0 / 64, "MB/s": 72},
+			"BulkPath/AES128-SHA-seq1m": {"writes/record": 1, "MB/s": 44},
+			"BulkPath/AES128-SHA-vec":   {"writes/record": 1.0 / 64, "MB/s": 48},
 		}
 	}
 	good := report("bulk-path", rows(9, 27, 47, 132, 6, 14))
@@ -233,5 +237,38 @@ func TestBulkShape(t *testing.T) {
 	})
 	if v, _ := CheckShape(partial); len(v) == 0 {
 		t.Fatal("report with missing suites passed the bulk shape check")
+	}
+
+	// The legacy two-syscalls-per-record seal coming back.
+	legacy := rows(9, 27, 47, 132, 6, 14)
+	legacy["BulkPath/AES128-SHA"]["writes/record"] = 2
+	v, _ = CheckShape(report("bulk-path", legacy))
+	if len(v) != 1 || !strings.Contains(v[0].Check, "bulk-writes-per-record") {
+		t.Fatalf("violations = %v, want bulk-writes-per-record", v)
+	}
+
+	// Vectored path slower than the same-size sequential baseline.
+	slow := rows(9, 27, 47, 132, 6, 14)
+	slow["BulkPath/RC4-MD5-vec"]["MB/s"] = 50
+	v, _ = CheckShape(report("bulk-path", slow))
+	if len(v) != 1 || !strings.Contains(v[0].Check, "bulk-vectored") {
+		t.Fatalf("violations = %v, want bulk-vectored", v)
+	}
+
+	// Dropping the -vec results must not silently retire the gate.
+	dropped := rows(9, 27, 47, 132, 6, 14)
+	delete(dropped, "BulkPath/AES128-SHA-vec")
+	v, _ = CheckShape(report("bulk-path", dropped))
+	if len(v) != 1 || !strings.Contains(v[0].Check, "bulk-vectored") {
+		t.Fatalf("violations = %v, want bulk-vectored for missing -vec result", v)
+	}
+
+	// A flight flush that stopped coalescing (one write per record on
+	// the vectored path) is caught even when throughput holds.
+	uncoalesced := rows(9, 27, 47, 132, 6, 14)
+	uncoalesced["BulkPath/RC4-MD5-vec"]["writes/record"] = 1
+	v, _ = CheckShape(report("bulk-path", uncoalesced))
+	if len(v) != 1 || !strings.Contains(v[0].Check, "bulk-vectored") {
+		t.Fatalf("violations = %v, want bulk-vectored for uncoalesced flush", v)
 	}
 }

@@ -73,6 +73,23 @@ type BulkExpectation struct {
 	// passes should cost ~3x one, so a ratio near 1 means the triple
 	// path collapsed.
 	MinTripleDESRatio float64 `json:"min_3des_des_ratio"`
+
+	// MaxWritesPerRecord caps transport writes per sealed record on
+	// every bulk result that reports the metric. The legacy path's
+	// header+body pair cost 2; the contiguous seal costs 1; the
+	// vectored flight path a fraction of 1. Anything above the cap
+	// means the two-syscalls-per-record bug is back.
+	MaxWritesPerRecord float64 `json:"max_writes_per_record"`
+
+	// MinVectoredSpeedup floors each "-vec" result's MB/s against its
+	// matching "-seq1m" result (same suite, same 1 MiB write size,
+	// flight path off): the flight-coalesced vectored path must move
+	// at least this multiple of the sequential record-at-a-time
+	// throughput, or the pipeline is costing more than it saves. Set
+	// slightly under 1 so single-core hosts — where MAC lanes cannot
+	// physically overlap and block ciphers measure dead even — pass
+	// within benchmark noise.
+	MinVectoredSpeedup float64 `json:"min_vectored_speedup"`
 }
 
 // PaperExpectation returns the default expectation derived from the
@@ -91,6 +108,11 @@ func PaperExpectation() AnatomyExpectation {
 			CheapMAC:          "MD5",
 			CostlyMAC:         "SHA-1",
 			MinTripleDESRatio: 1.8,
+			// One contiguous write per record at most; the vectored
+			// path must at least match the sequential throughput at
+			// the same write size, within single-core noise.
+			MaxWritesPerRecord: 1.0,
+			MinVectoredSpeedup: 0.95,
 		},
 	}
 }

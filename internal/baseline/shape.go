@@ -43,7 +43,11 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 // RC4 must stay cheaper per byte than AES, MD5 cheaper than SHA-1
 // per MAC byte, and 3DES must cost a multiple of single DES. Values
 // come from the pathlen collector's cipher-cyc/B and mac-cyc/B
-// metrics in BENCH_bulk.json.
+// metrics in BENCH_bulk.json. It also pins the flight path's syscall
+// story: no bulk result may exceed MaxWritesPerRecord transport
+// writes per sealed record, and each "-vec" (flight-coalesced) result
+// must hold MinVectoredSpeedup times its "-seq1m" (same write size,
+// flight disabled) counterpart's MB/s.
 func checkBulkShape(r *Report) []Violation {
 	var out []Violation
 	exp := PaperExpectation().Bulk
@@ -112,6 +116,54 @@ func checkBulkShape(r *Report) []Violation {
 		out = append(out, Violation{"bulk-3des-ratio",
 			fmt.Sprintf("3DES/DES cycles-per-byte ratio %.2f, want >= %.1f (triple pass collapsed?)",
 				ratio, exp.MinTripleDESRatio)})
+	}
+
+	// Syscall story: every result reporting writes/record stays at or
+	// under the contiguous-seal cost (2 would mean the legacy
+	// header+body pair is back).
+	if exp.MaxWritesPerRecord > 0 {
+		for _, name := range r.SortedResults() {
+			if !strings.HasPrefix(name, "BulkPath/") {
+				continue
+			}
+			if wpr, ok := r.Metric(name, "writes/record"); ok && wpr > exp.MaxWritesPerRecord {
+				out = append(out, Violation{"bulk-writes-per-record",
+					fmt.Sprintf("%s writes/record %.3f, want <= %.1f (legacy two-syscall seal back?)",
+						name, wpr, exp.MaxWritesPerRecord)})
+			}
+		}
+	}
+
+	// Vectored flight path: for each suite benched both ways at the
+	// same 1 MiB write size, the flight-coalesced path must hold its
+	// throughput floor against the record-at-a-time baseline, and its
+	// windowed flush must show up as fewer than one write per record.
+	// A missing half of a pair is a violation — dropping the "-vec"
+	// results would silently retire this gate.
+	if exp.MinVectoredSpeedup > 0 {
+		for _, s := range []string{"RC4-MD5", "AES128-SHA"} {
+			seq, okSeq := r.Metric("BulkPath/"+s+"-seq1m", "MB/s")
+			vec, okVec := r.Metric("BulkPath/"+s+"-vec", "MB/s")
+			if !okSeq || seq <= 0 {
+				out = append(out, Violation{"bulk-vectored",
+					fmt.Sprintf("BulkPath/%s-seq1m MB/s missing (vectored gate has no baseline)", s)})
+				continue
+			}
+			if !okVec || vec <= 0 {
+				out = append(out, Violation{"bulk-vectored",
+					fmt.Sprintf("BulkPath/%s-vec MB/s missing (flight path not benched?)", s)})
+				continue
+			}
+			if vec < exp.MinVectoredSpeedup*seq {
+				out = append(out, Violation{"bulk-vectored",
+					fmt.Sprintf("%s vectored %.1f MB/s under %.2fx of sequential %.1f MB/s (flight pipeline costing more than it saves)",
+						s, vec, exp.MinVectoredSpeedup, seq)})
+			}
+			if wpr, ok := r.Metric("BulkPath/"+s+"-vec", "writes/record"); ok && wpr >= 1 {
+				out = append(out, Violation{"bulk-vectored",
+					fmt.Sprintf("BulkPath/%s-vec writes/record %.3f, want < 1 (flight flush not coalescing)", s, wpr)})
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,79 @@
+// Package macpipe is the shared hashing-unit pool behind pipelined
+// sealing: a process-wide set of worker goroutines that run MAC
+// computations concurrently with the caller's cipher work — the
+// paper's Figure 6 control unit (hashing unit ∥ cipher unit)
+// generalized from one hardware engine to however many cores the host
+// has, in the shape of the multi-core SSL processor literature
+// (parallel crypto units feeding a serialized output stage).
+//
+// Two properties shape the API:
+//
+//   - Submission never blocks and never allocates. Submit hands a
+//     pre-allocated Task pointer to a buffered channel; when the pool
+//     is saturated it returns false and the caller runs the work
+//     inline. Callers therefore need no fallback goroutines, and a
+//     fleet of a million mostly-idle connections pins exactly
+//     GOMAXPROCS goroutines, not one per connection.
+//
+//   - The pool is started lazily on first use, so binaries that never
+//     seal a flight (clients, tests of other layers) pay nothing.
+package macpipe
+
+import (
+	"runtime"
+	"sync"
+)
+
+// A Task is one hashing-unit assignment. Run executes on a pool
+// worker; implementations own their synchronization with the
+// submitter (typically a done flag plus cond broadcast, or a
+// channel send).
+type Task interface {
+	Run()
+}
+
+var (
+	once sync.Once
+	jobs chan Task
+	size int
+)
+
+func start() {
+	size = runtime.GOMAXPROCS(0)
+	if size < 1 {
+		size = 1
+	}
+	// The queue holds a few flights' worth of helper jobs; beyond
+	// that, Submit sheds to the caller rather than queueing unbounded.
+	jobs = make(chan Task, 4*size)
+	for i := 0; i < size; i++ {
+		go worker()
+	}
+}
+
+func worker() {
+	for t := range jobs {
+		t.Run()
+	}
+}
+
+// Submit offers t to the pool, returning false when every worker is
+// busy and the queue is full — the caller should then run the work
+// inline (correctness must never depend on a helper being available).
+func Submit(t Task) bool {
+	once.Do(start)
+	select {
+	case jobs <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// Width reports the pool size (the number of worker goroutines),
+// starting the pool if needed. Callers size their per-worker state
+// (e.g. MAC clones) from it.
+func Width() int {
+	once.Do(start)
+	return size
+}

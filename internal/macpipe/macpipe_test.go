@@ -1,0 +1,60 @@
+package macpipe
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type countTask struct {
+	n    *atomic.Int64
+	wg   *sync.WaitGroup
+	self int64
+}
+
+func (t *countTask) Run() {
+	t.n.Add(t.self)
+	t.wg.Done()
+}
+
+// TestSubmitRunsEveryTask floods the pool from many goroutines; every
+// accepted task must run exactly once, and rejected tasks must be the
+// caller's to run inline — the contract flight sealing depends on.
+func TestSubmitRunsEveryTask(t *testing.T) {
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	var want int64
+	const submitters, per = 8, 200
+	var outer sync.WaitGroup
+	var wantMu sync.Mutex
+	for g := 0; g < submitters; g++ {
+		outer.Add(1)
+		go func(g int) {
+			defer outer.Done()
+			for i := 0; i < per; i++ {
+				v := int64(g*per + i + 1)
+				task := &countTask{n: &sum, wg: &wg, self: v}
+				wg.Add(1)
+				if !Submit(task) {
+					// Saturated: the caller runs it inline, exactly as
+					// the record layer's seal path does.
+					task.Run()
+				}
+				wantMu.Lock()
+				want += v
+				wantMu.Unlock()
+			}
+		}(g)
+	}
+	outer.Wait()
+	wg.Wait()
+	if got := sum.Load(); got != want {
+		t.Fatalf("task sum = %d, want %d (lost or doubled tasks)", got, want)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Width() < 1 {
+		t.Fatalf("Width() = %d, want >= 1", Width())
+	}
+}

@@ -1,0 +1,410 @@
+// Flight sealing: the zero-copy vectored bulk write path.
+//
+// A flight is one application write's worth of records sealed together
+// and flushed as a single vectored transport write. The pipeline
+// mirrors the paper's Figure 6 crypto-engine sketch (hashing unit ∥
+// cipher unit) in software:
+//
+//  1. The caller's buffer is fragmented without copying — each
+//     fragment is a sub-slice.
+//  2. Fragment MACs are computed in parallel: sequence numbers are
+//     assigned up front, so each MAC is independent, and macpipe
+//     helpers plus the calling goroutine claim fragments from a shared
+//     cursor. The caller always participates, so progress never
+//     depends on a helper being free.
+//  3. Cipher passes run on the caller's goroutine in sequence-number
+//     order — RC4 consumes keystream and CBC chains IVs, so encryption
+//     is inherently serial (see suite.RecordCipher's ordering
+//     contract). EncryptTo fuses the plaintext copy into the cipher
+//     pass: application bytes move into the wire buffer exactly once.
+//  4. The sealed records — each a contiguous header‖body in a pooled
+//     buffer, i.e. one iovec each — are flushed with one WriteBuffers
+//     call (writev on a TCP transport).
+//
+// The ciphertext is byte-identical to what the sequential
+// writeFragment path produces for the same plaintext and starting
+// state; flight_test.go proves it for every suite.
+package record
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"sslperf/internal/macpipe"
+	"sslperf/internal/sslcrypto"
+	"sslperf/internal/suite"
+)
+
+// A BuffersWriter flushes a list of buffers in one transport
+// operation (one writev syscall on a TCP connection). The record
+// layer's flight flush uses it when the underlying stream offers it;
+// otherwise it falls back to one Write per record.
+//
+// Implementations may mutate bufs and its elements (net.Buffers.WriteTo
+// consumes the slice it is given).
+type BuffersWriter interface {
+	WriteBuffers(bufs [][]byte) (int64, error)
+}
+
+// maxFlightRecords bounds the records sealed per flight: 64 records ×
+// 16 KiB = 1 MiB windows, enough to amortize the flush syscall ~64×
+// while capping the pooled-buffer working set a single connection can
+// pin.
+const maxFlightRecords = 64
+
+// flight is the reusable per-layer sealing state: lane MACs, helper
+// jobs, the fragment plan, and the iovec list. One flight struct
+// serves one Layer and is rebuilt only when the write state or the
+// pipeline width changes.
+type flight struct {
+	layer *Layer
+
+	// macs[0] is the layer's own write MAC (the caller's lane);
+	// macs[1:] are clones for helper lanes. MACs carry per-record
+	// scratch, so lanes never share one.
+	macs []*sslcrypto.MAC
+	jobs []flightJob
+
+	// Per-record plan for the in-progress window. src[i] aliases the
+	// caller's buffer; bps[i] is the pooled seal buffer the record is
+	// assembled into.
+	src [][]byte
+	bps []*[]byte
+	iov [][]byte
+
+	typ  byte
+	seq0 uint64
+	n    int
+
+	// Worker-measured MAC timings, emitted on the caller's goroutine
+	// (RecordCryptoAt) so per-connection probe sinks keep their
+	// single-goroutine contract.
+	macStart []time.Time
+	macDur   []time.Duration
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	next   int    // next unclaimed fragment index
+	done   []bool // done[i]: fragment i's MAC is in place
+	exited int    // helpers that have left this window
+}
+
+// flightJob is one helper lane's macpipe task.
+type flightJob struct {
+	fl   *flight
+	lane int
+}
+
+// Run executes on a macpipe worker: claim and MAC fragments until the
+// window is exhausted, then sign out so join can release the flight
+// state.
+func (j *flightJob) Run() {
+	fl := j.fl
+	fl.macLoop(j.lane)
+	fl.mu.Lock()
+	fl.exited++
+	fl.cond.Broadcast()
+	fl.mu.Unlock()
+}
+
+// flightState returns the layer's flight, building it on first use or
+// after SetWriteState/SetSealPipeline invalidated it. Lane count is
+// min(width, maxFlightRecords); width 0 means the macpipe pool width.
+func (l *Layer) flightState() *flight {
+	if l.fl != nil {
+		return l.fl
+	}
+	width := l.sealWidth
+	if width == 0 {
+		width = macpipe.Width()
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > maxFlightRecords {
+		width = maxFlightRecords
+	}
+	fl := &flight{layer: l}
+	fl.cond.L = &fl.mu
+	fl.macs = make([]*sslcrypto.MAC, 1, width)
+	fl.macs[0] = l.out.mac
+	if l.out.mac != nil {
+		for i := 1; i < width; i++ {
+			fl.macs = append(fl.macs, l.out.mac.Clone())
+		}
+	}
+	fl.jobs = make([]flightJob, len(fl.macs)-1)
+	for i := range fl.jobs {
+		fl.jobs[i] = flightJob{fl: fl, lane: i + 1}
+	}
+	fl.src = make([][]byte, maxFlightRecords)
+	fl.bps = make([]*[]byte, maxFlightRecords)
+	fl.iov = make([][]byte, 0, maxFlightRecords)
+	fl.done = make([]bool, maxFlightRecords)
+	fl.macStart = make([]time.Time, maxFlightRecords)
+	fl.macDur = make([]time.Duration, maxFlightRecords)
+	l.fl = fl
+	return fl
+}
+
+// WriteFlight writes data of the given type through the flight
+// pipeline, fragmenting without copying and flushing each window of up
+// to maxFlightRecords records as one vectored write. It produces
+// exactly the wire bytes WriteRecord would, with fewer transport
+// writes; single-fragment payloads take the plain sealed-write path.
+func (l *Layer) WriteFlight(typ ContentType, data []byte) error {
+	if len(data) <= MaxFragment {
+		return l.WriteRecord(typ, data)
+	}
+	const window = maxFlightRecords * MaxFragment
+	for len(data) > 0 {
+		win := len(data)
+		if win > window {
+			win = window
+		}
+		if err := l.writeFlight(typ, data[:win]); err != nil {
+			return err
+		}
+		data = data[win:]
+	}
+	return nil
+}
+
+// writeFlight seals and flushes one window (≤ maxFlightRecords
+// fragments).
+func (l *Layer) writeFlight(typ ContentType, data []byte) error {
+	n := (len(data) + MaxFragment - 1) / MaxFragment
+	if n == 1 {
+		return l.writeFragment(typ, data)
+	}
+	fl := l.flightState()
+	fl.begin(typ, data, n, l.out.seq)
+
+	// Dispatch helper lanes. Submit is non-blocking: a saturated pool
+	// (or a single-core host) just means the seal loop MACs each
+	// fragment itself, just in time — helpers accelerate the pipeline,
+	// they are never needed for progress. Helpers beyond n-1 would
+	// find nothing to claim.
+	submitted := 0
+	if fl.macs[0] != nil {
+		for i := range fl.jobs {
+			if submitted+1 >= n {
+				break
+			}
+			if macpipe.Submit(&fl.jobs[i]) {
+				submitted++
+			}
+		}
+	}
+
+	l.sealFlight(fl)
+
+	// Join: every submitted job must sign out before the flight state
+	// (buffers, cursors) can be reused or released.
+	fl.mu.Lock()
+	for fl.exited < submitted {
+		fl.cond.Wait()
+	}
+	fl.mu.Unlock()
+
+	err := l.flushFlight(fl)
+
+	for i := 0; i < n; i++ {
+		putSealBuf(fl.bps[i])
+		fl.bps[i] = nil
+		fl.src[i] = nil
+	}
+	fl.iov = fl.iov[:0]
+
+	if err != nil {
+		return err
+	}
+	l.Stats.Flights++
+	l.Stats.FlightRecords += n
+	l.Stats.RecordsWritten += n
+	l.Stats.BytesWritten += len(data)
+	if l.Probe != nil {
+		for i := 0; i < n; i++ {
+			size := MaxFragment
+			if i == n-1 {
+				size = len(data) - (n-1)*MaxFragment
+			}
+			l.Probe.RecordIO(true, false, size)
+		}
+	}
+	return nil
+}
+
+// begin lays out one window: fragment sub-slices, sequence numbers,
+// and a pooled seal buffer per record. When no MAC is armed the MAC
+// phase is skipped entirely (every fragment starts done).
+func (fl *flight) begin(typ ContentType, data []byte, n int, seq0 uint64) {
+	fl.typ = byte(typ)
+	fl.seq0 = seq0
+	fl.n = n
+	fl.next = 0
+	fl.exited = 0
+	for i := 0; i < n; i++ {
+		lo := i * MaxFragment
+		hi := lo + MaxFragment
+		if hi > len(data) {
+			hi = len(data)
+		}
+		fl.src[i] = data[lo:hi]
+		fl.done[i] = false
+		bp := sealPool.Get().(*[]byte)
+		if cap(*bp) < sealBufCap {
+			b := make([]byte, 0, sealBufCap)
+			bp = &b
+		}
+		fl.bps[i] = bp
+	}
+	if fl.macs[0] == nil {
+		for i := 0; i < n; i++ {
+			fl.done[i] = true
+		}
+		fl.next = n
+	}
+}
+
+// macLoop claims fragments from the shared cursor until the window is
+// exhausted, running on a macpipe worker. Lane 0 (the caller's own
+// MAC) is used by the seal loop's just-in-time claims instead.
+func (fl *flight) macLoop(lane int) {
+	for {
+		fl.mu.Lock()
+		i := fl.next
+		if i >= fl.n {
+			fl.mu.Unlock()
+			return
+		}
+		fl.next++
+		fl.mu.Unlock()
+		fl.macOne(lane, i)
+	}
+}
+
+// macOne computes fragment i's MAC on the given lane, writing it
+// directly into the seal buffer at the post-payload offset. Timing
+// stamps come from the probe bus (the spine owns every clock read) and
+// are handed to the sealer for emission on the caller's goroutine.
+func (fl *flight) macOne(lane, i int) {
+	m := fl.macs[lane]
+	bus := fl.layer.Probe
+	src := fl.src[i]
+	buf := (*fl.bps[i])[:cap(*fl.bps[i])]
+	off := headerLen + len(src)
+	start := bus.Stamp()
+	m.AppendCompute(buf[off:off], fl.seq0+uint64(i), fl.typ, src)
+	end := bus.Stamp()
+
+	fl.mu.Lock()
+	fl.macStart[i] = start
+	fl.macDur[i] = end.Sub(start)
+	fl.done[i] = true
+	fl.cond.Broadcast()
+	fl.mu.Unlock()
+}
+
+// sealFlight runs the cipher unit: for each fragment in sequence
+// order, wait for its MAC, then encrypt payload‖MAC‖padding into the
+// seal buffer. Whole payload blocks are encrypted straight out of the
+// caller's buffer (EncryptTo), so plaintext bytes are copied at most
+// once — and for stream ciphers, zero times outside the XOR itself.
+func (l *Layer) sealFlight(fl *flight) {
+	maclen := 0
+	if l.out.mac != nil {
+		maclen = l.out.mac.Size()
+	}
+	ec, _ := l.out.cipher.(suite.EncryptToCipher)
+	for i := 0; i < fl.n; i++ {
+		// Just-in-time claim: if no helper has taken fragment i yet,
+		// MAC it here — the fragment is then hashed and encrypted
+		// back-to-back while its bytes are cache-hot, exactly like the
+		// sequential path. Only a fragment a running helper already
+		// claimed is worth waiting for.
+		fl.mu.Lock()
+		if fl.next == i {
+			fl.next = i + 1
+			fl.mu.Unlock()
+			fl.macOne(0, i)
+		} else {
+			for !fl.done[i] {
+				fl.cond.Wait()
+			}
+			fl.mu.Unlock()
+		}
+
+		src := fl.src[i]
+		plen := len(src)
+		buf := (*fl.bps[i])[:cap(*fl.bps[i])]
+		if maclen > 0 {
+			l.Probe.RecordCryptoAt(OpMACCompute, l.macPrim, plen, fl.macStart[i], fl.macDur[i])
+		}
+		bodyLen := plen + maclen
+		total := bodyLen
+		body := buf[headerLen:]
+		if l.out.active() {
+			start := l.Probe.Stamp()
+			if bs := l.out.cipher.BlockSize(); bs > 1 {
+				padLen := bs - (bodyLen+1)%bs
+				if padLen == bs {
+					padLen = 0
+				}
+				total = bodyLen + padLen + 1
+				for j := bodyLen; j < total; j++ {
+					body[j] = byte(padLen)
+				}
+				if ec != nil {
+					// Whole payload blocks straight from the caller's
+					// buffer; the tail (payload remainder ‖ MAC ‖ pad)
+					// is assembled in place and encrypted as the chain's
+					// next blocks.
+					nb := plen - plen%bs
+					ec.EncryptTo(body[:nb], src[:nb])
+					copy(body[nb:plen], src[nb:])
+					l.out.cipher.Encrypt(body[nb:total])
+				} else {
+					copy(body[:plen], src)
+					l.out.cipher.Encrypt(body[:total])
+				}
+			} else if ec != nil {
+				// Stream/null: payload via the fused pass, then the MAC
+				// region in place — keystream order is preserved.
+				ec.EncryptTo(body[:plen], src)
+				l.out.cipher.Encrypt(body[plen:bodyLen])
+			} else {
+				copy(body[:plen], src)
+				l.out.cipher.Encrypt(body[:bodyLen])
+			}
+			l.Probe.RecordCrypto(OpCipherEncrypt, l.cipherPrim, total, start)
+		} else {
+			copy(body[:plen], src)
+		}
+		rec := buf[:headerLen+total]
+		rec[0] = fl.typ
+		binary.BigEndian.PutUint16(rec[1:], l.writeVersion())
+		binary.BigEndian.PutUint16(rec[3:], uint16(total))
+		fl.iov = append(fl.iov, rec)
+	}
+	l.out.seq = fl.seq0 + uint64(fl.n)
+}
+
+// flushFlight pushes the window's sealed records to the transport:
+// one vectored write when the stream supports it, else one write per
+// record (still half the legacy path's two).
+func (l *Layer) flushFlight(fl *flight) error {
+	if bw, ok := l.rw.(BuffersWriter); ok {
+		_, err := bw.WriteBuffers(fl.iov)
+		l.Stats.WriteCalls++
+		return err
+	}
+	for _, rec := range fl.iov {
+		l.Stats.WriteCalls++
+		if _, err := l.rw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package record
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"testing"
+
+	"sslperf/internal/suite"
+)
+
+// vecBuffer is a bytes.Buffer that also accepts vectored writes,
+// counting each kind so tests can assert flush behavior.
+type vecBuffer struct {
+	bytes.Buffer
+	writes    int
+	vecWrites int
+}
+
+func (v *vecBuffer) Write(p []byte) (int, error) {
+	v.writes++
+	return v.Buffer.Write(p)
+}
+
+func (v *vecBuffer) WriteBuffers(bufs [][]byte) (int64, error) {
+	v.vecWrites++
+	var n int64
+	for _, b := range bufs {
+		m, err := v.Buffer.Write(b)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// flightSender builds a sender layer armed for s writing into a
+// vecBuffer, with the receiver to open what it writes.
+func flightSender(t *testing.T, s *suite.Suite, width int) (*Layer, *Layer, *vecBuffer) {
+	t.Helper()
+	buf := &vecBuffer{}
+	type rw struct {
+		io.Reader
+		io.Writer
+	}
+	sender := NewLayer(struct {
+		io.Reader
+		*vecBuffer
+	}{Reader: strings.NewReader(""), vecBuffer: buf})
+	receiver := NewLayer(rw{Reader: &buf.Buffer, Writer: io.Discard})
+	arm(t, s, sender, receiver)
+	sender.SetSealPipeline(width)
+	return sender, receiver, buf
+}
+
+// payloadOf builds a deterministic test payload.
+func payloadOf(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + i>>9)
+	}
+	return p
+}
+
+// TestFlightWireEquivalence proves the tentpole's core invariant: for
+// every suite and every pipeline width, WriteFlight puts byte-for-byte
+// the same ciphertext on the wire as the sequential WriteRecord path
+// from the same starting state — fragment boundaries, MACs, padding,
+// keystream and IV chains all line up.
+func TestFlightWireEquivalence(t *testing.T) {
+	for _, s := range suite.All() {
+		for _, width := range []int{1, 2, 4, 0} {
+			sizes := []int{0, 1, MaxFragment, MaxFragment + 1, 3*MaxFragment + 77}
+			if width == 0 {
+				// The 1 MiB case (a full 64-record window) once per
+				// suite, at the default width — the small sizes cover
+				// the width axis without 3DES-ing a megabyte per combo.
+				sizes = append(sizes, 1<<20)
+			}
+			t.Run(fmt.Sprintf("%s/width=%d", s.Name, width), func(t *testing.T) {
+				seq, _, seqBuf := flightSender(t, s, width)
+				vec, _, vecBuf := flightSender(t, s, width)
+				for _, n := range sizes {
+					data := payloadOf(n)
+					if err := seq.WriteRecord(TypeApplicationData, data); err != nil {
+						t.Fatal(err)
+					}
+					if err := vec.WriteFlight(TypeApplicationData, data); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(seqBuf.Bytes(), vecBuf.Bytes()) {
+						t.Fatalf("size %d: flight wire bytes diverge from sequential path", n)
+					}
+				}
+				if seq.Stats.RecordsWritten != vec.Stats.RecordsWritten {
+					t.Fatalf("record counts diverge: %d vs %d",
+						seq.Stats.RecordsWritten, vec.Stats.RecordsWritten)
+				}
+			})
+		}
+	}
+}
+
+// TestFlightRoundTrip sends flights through every suite and reads the
+// records back, covering the window boundary (exactly one window, one
+// byte over) and multi-window flights.
+func TestFlightRoundTrip(t *testing.T) {
+	window := maxFlightRecords * MaxFragment
+	for _, s := range suite.All() {
+		t.Run(s.Name, func(t *testing.T) {
+			sizes := []int{MaxFragment + 1, window + 1}
+			if s.Name == "RC4-MD5" || s.Name == "AES128-SHA" {
+				// Exact-window and multi-window flights once per cipher
+				// family; the boundary logic is suite-independent.
+				sizes = append(sizes, window, 2*window+5)
+			}
+			sender, receiver, _ := flightSender(t, s, 0)
+			for _, n := range sizes {
+				data := payloadOf(n)
+				if err := sender.WriteFlight(TypeApplicationData, data); err != nil {
+					t.Fatal(err)
+				}
+				var got []byte
+				for len(got) < n {
+					typ, payload, err := receiver.ReadRecord()
+					if err != nil {
+						t.Fatalf("size %d: read: %v", n, err)
+					}
+					if typ != TypeApplicationData {
+						t.Fatalf("size %d: unexpected type %v", n, typ)
+					}
+					got = append(got, payload...)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("size %d: payload corrupted in flight", n)
+				}
+			}
+		})
+	}
+}
+
+// TestFlightWriteCoalescing asserts the syscall story: a flight is one
+// vectored write per window on a BuffersWriter transport, and the
+// sequential path is one (not two) writes per record.
+func TestFlightWriteCoalescing(t *testing.T) {
+	s, _ := suite.ByName("RC4-MD5")
+	sender, _, buf := flightSender(t, s, 0)
+	window := maxFlightRecords * MaxFragment
+	if err := sender.WriteFlight(TypeApplicationData, payloadOf(window+1)); err != nil {
+		t.Fatal(err)
+	}
+	// One window of 64 records (vectored) plus the one-record tail
+	// (plain write).
+	if buf.vecWrites != 1 || buf.writes != 1 {
+		t.Fatalf("got %d vectored + %d plain writes, want 1 + 1", buf.vecWrites, buf.writes)
+	}
+	if sender.Stats.WriteCalls != 2 {
+		t.Fatalf("Stats.WriteCalls = %d, want 2", sender.Stats.WriteCalls)
+	}
+	if sender.Stats.RecordsWritten != maxFlightRecords+1 {
+		t.Fatalf("RecordsWritten = %d, want %d", sender.Stats.RecordsWritten, maxFlightRecords+1)
+	}
+	if sender.Stats.Flights != 1 || sender.Stats.FlightRecords != maxFlightRecords {
+		t.Fatalf("Flights = %d FlightRecords = %d, want 1 and %d",
+			sender.Stats.Flights, sender.Stats.FlightRecords, maxFlightRecords)
+	}
+
+	// Non-vectored transport: the flight falls back to one write per
+	// record — still half the legacy path's header+body pair.
+	plain, _, _ := oneWay()
+	arm(t, s, plain, NewLayer(struct {
+		io.Reader
+		io.Writer
+	}{Reader: strings.NewReader(""), Writer: io.Discard}))
+	if err := plain.WriteFlight(TypeApplicationData, payloadOf(3*MaxFragment)); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.WriteCalls != 3 {
+		t.Fatalf("fallback WriteCalls = %d, want 3 (one per record)", plain.Stats.WriteCalls)
+	}
+}
+
+// TestFlightConcurrentLayers drives many layers' flights through the
+// shared macpipe pool at once; under -race this is the proof that
+// lane claiming, MAC clone isolation, and the join protocol are sound.
+func TestFlightConcurrentLayers(t *testing.T) {
+	s, _ := suite.ByName("AES128-SHA")
+	const conns = 8
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		sender, receiver, _ := flightSender(t, s, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := payloadOf(5*MaxFragment + 123)
+			for iter := 0; iter < 10; iter++ {
+				if err := sender.WriteFlight(TypeApplicationData, data); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				var got int
+				for got < len(data) {
+					_, payload, err := receiver.ReadRecord()
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					got += len(payload)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFlightSteadyStateAllocs checks the flight path is allocation-
+// free once warm (probes off): pooled seal buffers, reused flight
+// state, pointer tasks into a prebuilt job table. GC is disabled so
+// AllocsPerRun cannot observe sync.Pool eviction refills.
+func TestFlightSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on sync paths")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s, _ := suite.ByName("RC4-MD5")
+	sender, _, _ := flightSender(t, s, 0)
+	sink := &discardVec{}
+	sender.rw = sink
+	data := payloadOf(8 * MaxFragment)
+	// Warm: build flight state, fill the seal pool.
+	if err := sender.WriteFlight(TypeApplicationData, data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sender.WriteFlight(TypeApplicationData, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("flight write allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+// discardVec is /dev/null with a vectored entry point.
+type discardVec struct{}
+
+func (discardVec) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardVec) Write(p []byte) (int, error) { return len(p), nil }
+func (discardVec) WriteBuffers(bufs [][]byte) (int64, error) {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n, nil
+}
+
+// FuzzFlightEquivalence fuzzes payload sizes (seeded with the
+// fragment-boundary cases) and checks flight/sequential wire
+// equivalence for a stream and a block suite.
+func FuzzFlightEquivalence(f *testing.F) {
+	for _, n := range []int{0, 1, MaxFragment, MaxFragment + 1, 1 << 20} {
+		f.Add(n)
+	}
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 0 || n > 1<<21 {
+			t.Skip()
+		}
+		data := payloadOf(n)
+		for _, name := range []string{"RC4-MD5", "AES128-SHA"} {
+			s, _ := suite.ByName(name)
+			seq, _, seqBuf := flightSender(t, s, 0)
+			vec, _, vecBuf := flightSender(t, s, 0)
+			if err := seq.WriteRecord(TypeApplicationData, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := vec.WriteFlight(TypeApplicationData, data); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seqBuf.Bytes(), vecBuf.Bytes()) {
+				t.Fatalf("%s: size %d: flight bytes diverge", name, n)
+			}
+		}
+	})
+}

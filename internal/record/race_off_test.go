@@ -1,0 +1,5 @@
+//go:build !race
+
+package record
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package record
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; its runtime allocates on synchronization paths, so
+// allocation-count assertions only hold without it.
+const raceEnabled = true

@@ -134,6 +134,17 @@ type Stats struct {
 	BytesWritten   int
 	AlertsRead     int
 	AlertsWritten  int
+
+	// WriteCalls counts transport write operations issued (plain
+	// Writes plus vectored flight flushes). WriteCalls/RecordsWritten
+	// is the syscalls-per-record amortization: 2 on the legacy
+	// header-then-body path, 1 after the contiguous-seal fix, and
+	// 1/flight-width on the vectored flight path.
+	WriteCalls int
+	// Flights counts vectored flight flushes; FlightRecords the
+	// records sealed through the flight pipeline.
+	Flights       int
+	FlightRecords int
 }
 
 // CryptoOp identifies a record-layer crypto operation for observers.
@@ -184,17 +195,63 @@ type Layer struct {
 	// ReadRecord returns aliases it, which is what makes the read path
 	// allocation-free per record (see ReadRecord's contract).
 	readScratch []byte
+
+	// sealWidth is the configured MAC-pipeline width for flight
+	// sealing: 0 means auto (macpipe pool width), 1 forces sequential
+	// sealing, >1 caps the helpers per flight. See SetSealPipeline.
+	sealWidth int
+
+	// fl holds the lazily-built per-layer flight state (fragment
+	// table, MAC clones, iovec list); reused across WriteFlight calls
+	// so steady-state flights allocate nothing.
+	fl *flight
 }
 
-// sealPool recycles outbound record bodies across connections: one
-// seal needs payload+MAC+padding contiguous, and the buffer is dead as
-// soon as the fragment hits the wire, so pooling removes the per-record
-// allocation from the bulk-transfer write path.
+// sealBufCap is the capacity of a pooled seal buffer: the record
+// header, a maximum-size fragment, and slack for the largest MAC plus
+// block padding. Header and body live in one buffer so a sealed
+// record is a single contiguous write — and a single iovec in a
+// flight's vectored flush.
+const sealBufCap = headerLen + MaxFragment + 64
+
+// sealPool recycles outbound record buffers across connections: one
+// seal needs header+payload+MAC+padding contiguous, and the buffer is
+// dead as soon as the fragment hits the wire, so pooling removes the
+// per-record allocation from the bulk-transfer write path. sync.Pool
+// shards per P, so under parallel load this is effectively a per-CPU
+// buffer pool.
 var sealPool = sync.Pool{
 	New: func() any {
-		b := make([]byte, 0, MaxFragment+64)
+		b := make([]byte, 0, sealBufCap)
 		return &b
 	},
+}
+
+// putSealBuf returns a seal buffer to the pool — unless appends grew
+// it past the standard capacity, in which case it is dropped so a
+// burst of oversized records cannot pin the growth fleet-wide (the
+// pool would otherwise retain whatever the largest seal ever needed,
+// forever, on every P).
+func putSealBuf(bp *[]byte) {
+	if cap(*bp) > sealBufCap {
+		return
+	}
+	*bp = (*bp)[:0]
+	sealPool.Put(bp)
+}
+
+// SetSealPipeline sets the MAC-pipeline width used by WriteFlight: 0
+// selects the macpipe pool width (one lane per core), 1 disables
+// parallel MAC computation (the flight path still coalesces writes),
+// n > 1 caps the lanes a single flight uses. Changing the width
+// between flights is safe; changing it mid-flight is not possible
+// (the layer is not concurrent).
+func (l *Layer) SetSealPipeline(width int) {
+	if width < 0 {
+		width = 0
+	}
+	l.sealWidth = width
+	l.fl = nil // rebuild lanes on next flight
 }
 
 // SetProtocolVersion pins the record-layer protocol version after
@@ -247,9 +304,12 @@ func (l *Layer) SetPrimitives(cipher, mac string) {
 }
 
 // SetWriteState installs the outbound cipher and MAC and resets the
-// outbound sequence number; called when sending ChangeCipherSpec.
+// outbound sequence number; called when sending ChangeCipherSpec. Any
+// flight state is invalidated — its lane MACs are clones of the old
+// write MAC.
 func (l *Layer) SetWriteState(c suite.RecordCipher, m *sslcrypto.MAC) {
 	l.out = halfState{cipher: c, mac: m}
+	l.fl = nil
 }
 
 // SetReadState installs the inbound cipher and MAC and resets the
@@ -273,17 +333,28 @@ func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
 	return nil
 }
 
-// writeFragment seals and sends one fragment: payload ‖ MAC ‖ padding.
-// The body is assembled in a pooled scratch buffer — MAC appended in
-// place, padding in place, cipher in place — so a steady-state seal
-// performs zero heap allocations.
+// writeFragment seals and sends one fragment as a single contiguous
+// write: header ‖ payload ‖ MAC ‖ padding assembled in one pooled
+// buffer — MAC appended in place, padding in place, cipher in place —
+// so a steady-state seal performs zero heap allocations and one
+// transport Write (the legacy path issued two: header then body,
+// doubling the syscall count of every handshake record and small
+// application write).
 func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 	// Timing is inlined rather than routed through timeCrypto: the
 	// closure a timeCrypto call would need captures the growing body
 	// slice and forces a heap allocation per record. Stamp/RecordCrypto
 	// are nil-receiver no-ops, so the probe-off path stays branch-only.
 	bp := sealPool.Get().(*[]byte)
-	body := append((*bp)[:0], payload...)
+	buf := *bp
+	// Worst case: header + payload + MAC + a full padding block. A
+	// standard pooled buffer always suffices for payloads the record
+	// layer fragments to; the guard keeps oversized callers safe.
+	if need := headerLen + len(payload) + 64; cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	rec := buf[:headerLen]
+	body := append(rec[headerLen:headerLen], payload...)
 	if l.out.mac != nil {
 		start := l.Probe.Stamp()
 		body = l.out.mac.AppendCompute(body, l.out.seq, byte(typ), payload)
@@ -308,16 +379,14 @@ func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
 		l.out.cipher.Encrypt(body)
 		l.Probe.RecordCrypto(OpCipherEncrypt, l.cipherPrim, len(body), start)
 	}
-	hdr := [headerLen]byte{byte(typ)}
-	binary.BigEndian.PutUint16(hdr[1:], l.writeVersion())
-	binary.BigEndian.PutUint16(hdr[3:], uint16(len(body)))
-	_, err = l.rw.Write(hdr[:])
-	if err == nil {
-		_, err = l.rw.Write(body)
-	}
-	// Keep any growth the appends caused for the next seal.
-	*bp = body[:0]
-	sealPool.Put(bp)
+	rec = buf[:headerLen+len(body)]
+	rec[0] = byte(typ)
+	binary.BigEndian.PutUint16(rec[1:], l.writeVersion())
+	binary.BigEndian.PutUint16(rec[3:], uint16(len(body)))
+	_, err = l.rw.Write(rec)
+	l.Stats.WriteCalls++
+	*bp = buf[:0]
+	putSealBuf(bp)
 	if err != nil {
 		return err
 	}

@@ -64,6 +64,16 @@ type Config struct {
 	ServerName         string
 	InsecureSkipVerify bool
 
+	// BulkPipelineWidth controls the record layer's flight-sealing
+	// pipeline, the path Write takes for buffers larger than one
+	// record: 0 (the default) gives the pipeline one MAC lane per
+	// core, 1 disables parallel MAC computation (flights still seal
+	// zero-copy and flush as one vectored write), and n > 1 caps the
+	// lanes one flight uses. A negative width disables the flight path
+	// entirely, so large writes take the sequential record-at-a-time
+	// path — the baseline the bulk benchmarks compare against.
+	BulkPipelineWidth int
+
 	// Probes subscribes additional sinks to the connection's
 	// instrumentation spine (internal/probe): every handshake step
 	// boundary, attributed crypto call, record-layer cipher/MAC pass,
@@ -128,6 +138,10 @@ type Conn struct {
 	traceHS      uint64           // the trace's top-level handshake span
 	traceOutcome string           // outcome Finish reports at Close
 
+	// noFlight disables the large-write flight fast path (set by a
+	// negative Config.BulkPipelineWidth).
+	noFlight bool
+
 	readBuf []byte
 	eof     bool
 	closed  bool
@@ -135,12 +149,27 @@ type Conn struct {
 
 // ClientConn wraps transport as the client end.
 func ClientConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
-	return &Conn{transport: transport, layer: record.NewLayer(transport), cfg: cfg, isClient: true}
+	return newConn(transport, cfg, true)
 }
 
 // ServerConn wraps transport as the server end.
 func ServerConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
-	return &Conn{transport: transport, layer: record.NewLayer(transport), cfg: cfg}
+	return newConn(transport, cfg, false)
+}
+
+func newConn(transport io.ReadWriteCloser, cfg *Config, isClient bool) *Conn {
+	c := &Conn{
+		transport: transport,
+		layer:     record.NewLayer(vectored(transport)),
+		cfg:       cfg,
+		isClient:  isClient,
+	}
+	if cfg.BulkPipelineWidth < 0 {
+		c.noFlight = true
+	} else if cfg.BulkPipelineWidth > 0 {
+		c.layer.SetSealPipeline(cfg.BulkPipelineWidth)
+	}
+	return c
 }
 
 // SetAnatomy installs a recorder that will capture the server-side
@@ -274,7 +303,17 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.ct != nil {
 		ioStart = time.Now()
 	}
-	if err := c.layer.WriteRecord(record.TypeApplicationData, p); err != nil {
+	// Large writes take the flight pipeline: fragments MACed in
+	// parallel, sealed zero-copy in sequence order, and flushed as one
+	// vectored write per window. Wire bytes are identical to the
+	// sequential path's.
+	var err error
+	if len(p) > record.MaxFragment && !c.noFlight {
+		err = c.layer.WriteFlight(record.TypeApplicationData, p)
+	} else {
+		err = c.layer.WriteRecord(record.TypeApplicationData, p)
+	}
+	if err != nil {
 		return 0, err
 	}
 	if c.ct != nil {
