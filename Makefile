@@ -4,7 +4,7 @@
 GO ?= go
 HISTDIR ?= bench_history
 
-.PHONY: all build vet test race check clocklint pathlenlint loadsmoke checkdrift bench repro results examples clean
+.PHONY: all build vet test race check clocklint pathlenlint failclasslint loadsmoke checkdrift bench repro results examples clean
 
 all: build vet test
 
@@ -35,10 +35,12 @@ check:
 	$(GO) vet ./...
 	$(MAKE) clocklint
 	$(MAKE) pathlenlint
+	$(MAKE) failclasslint
 	$(GO) test -race ./internal/probe/... ./internal/telemetry/... ./internal/trace/... \
 		./internal/ssl/... ./internal/record/... ./internal/macpipe/... ./internal/rsabatch/... \
 		./internal/handshake/... ./internal/accel/... ./internal/perf/... \
-		./internal/loadgen/... ./internal/baseline/... ./internal/pathlen/...
+		./internal/loadgen/... ./internal/baseline/... ./internal/pathlen/... \
+		./internal/lifecycle/... ./internal/slo/...
 	$(MAKE) loadsmoke
 
 # The spine owns every clock read on the handshake and record hot
@@ -67,6 +69,23 @@ pathlenlint:
 	done; \
 	if [ -n "$$missing" ]; then \
 		echo "pathlenlint: probe.Step constants with no stepClasses row in internal/pathlen/steps.go:$$missing"; \
+		exit 1; \
+	fi
+
+# Every probe.FailClass constant must carry a name row in the
+# failClassInfo table and a case in the internal/ssl mapping test
+# (TestClassifyTable), so a new failure class cannot ship without a
+# canonical tag and a pinned example of what maps onto it — the same
+# grep discipline pathlenlint applies to handshake steps.
+failclasslint:
+	@classes=$$(sed -n 's/^\t\(Fail[A-Za-z0-9]*\) FailClass = iota.*/\1/p; s/^\t\(Fail[A-Za-z0-9]*\)$$/\1/p' internal/probe/failclass.go | sort -u); \
+	missing=""; \
+	for c in $$classes; do \
+		grep -q "$$c:" internal/probe/failclass.go || missing="$$missing $$c(name)"; \
+		grep -q "probe\.$$c" internal/ssl/failclass_test.go || missing="$$missing $$c(mapping-test)"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "failclasslint: probe.FailClass constants missing a failClassInfo name or a mapping-test case:$$missing"; \
 		exit 1; \
 	fi
 
@@ -106,6 +125,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'BenchmarkHandshakeProbe(Off|Sampled16|All)' \
 		-count 3 -name probe-overhead -out docs/BENCH_probe.json \
 		-note "Probe-spine fan-out cost on the full-handshake benchmark: Off is the sink-free nil-bus path (one pointer test per hook, zero allocations), Sampled16 the production 1-in-16 trace sampling, All the worst case with every sink adapter attached — anatomy fold + telemetry counters + always-on span building riding one event stream."
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/lifecycle/ -bench BenchmarkConnTable \
+		-count 3 -name lifecycle-conn-table -out docs/BENCH_lifecycle.json \
+		-note "Conn-table hot path for the lifecycle observatory: register-close is the bare table round trip (pooled entry, lock-striped shard insert/delete), full-life adds handshake transitions with step and record events on the probe spine plus the SLO window fold, emit is one record-IO event folding into an established entry's counters. The shape gate holds every path at zero allocations per operation — attaching the observatory costs bookkeeping, not garbage."
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench BenchmarkBulkPath \
 		-count 3 -name bulk-path -out docs/BENCH_bulk.json \
 		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12), plus the syscall story — writes/record (1.0 contiguous seal, ~1/64 vectored) and MB/s + records/s for the -seq1m (1MiB writes, flight off) vs -vec (flight pipeline) pair. The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, 3DES a multiple of DES, writes/record at or under 1, and vectored throughput at or above the same-size sequential baseline."

@@ -12,20 +12,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sslperf/internal/baseline"
 	"sslperf/internal/handshake"
+	"sslperf/internal/lifecycle"
 	"sslperf/internal/pathlen"
 	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
 	"sslperf/internal/rsabatch"
+	"sslperf/internal/slo"
 	"sslperf/internal/ssl"
 	"sslperf/internal/suite"
 	"sslperf/internal/telemetry"
@@ -61,6 +66,16 @@ func main() {
 			"expose net/http/pprof under /debug/pprof/ on the telemetry address")
 		pprofLabels = flag.Bool("pprof-labels", false,
 			"attach pprof labels (sslstep/sslfn/sslcat/sslengine) to handshake, crypto, and bulk work so CPU profiles fold by Table 2 step")
+		sloTarget = flag.Duration("slotarget", 50*time.Millisecond,
+			"handshake-latency SLO target: successes slower than this burn the error budget on /debug/slo")
+		sloBudget = flag.Float64("slobudget", 0.01,
+			"SLO error budget: allowed fraction of failed-or-slow handshakes (0.01 = 99% objective)")
+		closeLog = flag.String("closelog", "",
+			"write one structured JSON line per connection close to this file (\"stderr\" for stderr)")
+		closeLogSample = flag.Int("closelog-sample", 100,
+			"close-log 1 in N successful closes (failed closes always log)")
+		logRate = flag.Int("lograte", 10,
+			"max per-connection log lines per second, with a suppressed-count summary (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -73,12 +88,29 @@ func main() {
 		seedVal = uint64(time.Now().UnixNano())
 	}
 
+	var closeLogW io.Writer
+	switch *closeLog {
+	case "":
+	case "stderr":
+		closeLogW = os.Stderr
+	default:
+		f, err := os.OpenFile(*closeLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closeLogW = f
+	}
+
 	obs := buildProbes(probeFlags{
 		TelemetryAddr:  *telAddr,
 		FlightRecorder: *flightRec,
 		TraceEvery:     *traceEvery,
 		TraceRate:      *traceRate,
 		Pprof:          *pprofOn,
+		SLOTarget:      *sloTarget,
+		SLOBudget:      *sloBudget,
+		CloseLogW:      closeLogW,
+		CloseLogSample: *closeLogSample,
 	})
 
 	srv := &server{
@@ -86,6 +118,8 @@ func main() {
 		telemetry: obs.reg,
 		tracer:    obs.tracer,
 		pathlen:   obs.pathlen,
+		lifecycle: obs.lifecycle,
+		connLog:   newLogLimiter(*logRate),
 		seed:      seedVal,
 		bulkWidth: *bulkWidth,
 	}
@@ -159,15 +193,22 @@ type probeFlags struct {
 	TraceEvery     int
 	TraceRate      int
 	Pprof          bool
+	SLOTarget      time.Duration
+	SLOBudget      float64
+	CloseLogW      io.Writer
+	CloseLogSample int
 }
 
 // observers is everything buildProbes wires up: the metrics registry
-// and span tracer the per-connection configs subscribe, plus the
-// engine sinks background engines (batch RSA) emit into.
+// and span tracer the per-connection configs subscribe, the live
+// connection table with its SLO windows, plus the engine sinks
+// background engines (batch RSA) emit into.
 type observers struct {
-	reg     *telemetry.Registry
-	tracer  *trace.Tracer
-	pathlen *pathlen.Collector
+	reg       *telemetry.Registry
+	tracer    *trace.Tracer
+	pathlen   *pathlen.Collector
+	lifecycle *lifecycle.Table
+	slo       *slo.Tracker
 }
 
 // engineSinks returns the probe sinks an engine should fan out to —
@@ -188,6 +229,16 @@ func buildProbes(f probeFlags) *observers {
 			MaxPerSec:   f.TraceRate,
 		})
 	}
+	if f.TelemetryAddr != "" || f.CloseLogW != nil {
+		// The conn table exists whenever something reads it: the
+		// /debug/conns + /debug/slo endpoints, or the close-log alone.
+		var cl *lifecycle.CloseLog
+		if f.CloseLogW != nil {
+			cl = lifecycle.NewCloseLog(f.CloseLogW, f.CloseLogSample)
+		}
+		o.slo = slo.New(slo.Config{TargetP99: f.SLOTarget, ErrorBudget: f.SLOBudget})
+		o.lifecycle = lifecycle.NewTable(lifecycle.Options{SLO: o.slo, CloseLog: cl})
+	}
 	if f.TelemetryAddr == "" {
 		if o.tracer != nil || f.Pprof {
 			log.Printf("warning: -trace/-pprof need -telemetry to be served; enabling tracing without an endpoint")
@@ -198,13 +249,38 @@ func buildProbes(f probeFlags) *observers {
 	mux := http.NewServeMux()
 	telemetry.Register(mux, o.reg)
 	pathlen.Register(mux, o.pathlen)
+	lifecycle.Register(mux, o.lifecycle)
+	slo.Register(mux, o.slo)
+	var anatomySnap func() trace.AnatomySnapshot
 	if o.tracer != nil {
 		// POST /debug/anatomy/reset clears the profiler and the
 		// metrics registry together, so "warm up, reset, measure"
 		// runs read clean numbers on both surfaces.
 		trace.RegisterWithReset(mux, o.tracer, o.reg.Reset)
-		baseline.RegisterHealth(mux, o.tracer.Profiler().Snapshot, baseline.PaperExpectation())
+		anatomySnap = o.tracer.Profiler().Snapshot
 	}
+	// /debug/health always mounts with telemetry: the anatomy checks
+	// need -trace, the SLO burn verdict does not.
+	baseline.RegisterHealth(mux, anatomySnap, baseline.PaperExpectation(),
+		baseline.SLOBurnCheck(o.slo, "1m", 10))
+	// POST /debug/reset scopes every observatory at once — telemetry,
+	// anatomy profiler, path-length accumulators, conn table, and SLO
+	// windows — so "warm up, reset, measure" needs one call.
+	mux.HandleFunc("/debug/reset", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		o.reg.Reset()
+		if o.tracer != nil {
+			o.tracer.Profiler().Reset()
+		}
+		o.pathlen.Reset()
+		o.lifecycle.Reset()
+		o.slo.Reset()
+		w.Write([]byte("reset\n"))
+	})
 	if f.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -232,11 +308,74 @@ type server struct {
 	telemetry *telemetry.Registry
 	tracer    *trace.Tracer
 	pathlen   *pathlen.Collector
+	lifecycle *lifecycle.Table
+	connLog   *logLimiter
 	suites    []suite.ID
 	version   uint16
 	seed      uint64
 	bulkWidth int
 	connSeq   atomic.Uint64
+}
+
+// logLimiter is a token bucket over per-connection log lines: under a
+// failure storm (or a high-rate success run) the log stays readable at
+// the configured rate, and each emitted line is preceded by a one-line
+// summary of how many lines the bucket swallowed since the last one. A
+// nil limiter passes everything through.
+type logLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64
+	tokens     float64
+	last       time.Time
+	suppressed uint64
+}
+
+func newLogLimiter(linesPerSec int) *logLimiter {
+	if linesPerSec <= 0 {
+		return nil
+	}
+	r := float64(linesPerSec)
+	return &logLimiter{rate: r, burst: r, tokens: r, last: time.Now()}
+}
+
+// Printf logs one line if the bucket allows it, prefixed by a summary
+// of any suppressed backlog; otherwise it counts the line silently.
+func (l *logLimiter) Printf(format string, args ...any) {
+	if l == nil {
+		log.Printf(format, args...)
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.suppressed++
+		l.mu.Unlock()
+		return
+	}
+	l.tokens--
+	sup := l.suppressed
+	l.suppressed = 0
+	l.mu.Unlock()
+	if sup > 0 {
+		log.Printf("(%d connection log lines suppressed by -lograte)", sup)
+	}
+	log.Printf(format, args...)
+}
+
+// Suppressed reports lines currently swallowed and not yet summarized.
+func (l *logLimiter) Suppressed() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.suppressed
 }
 
 // configFor builds the per-connection Config. Every connection gets
@@ -256,6 +395,7 @@ func (s *server) configFor() (*ssl.Config, *trace.ConnTrace) {
 		Suites:       s.suites,
 		Version:      s.version,
 		Telemetry:    s.telemetry,
+		Lifecycle:    s.lifecycle,
 
 		BulkPipelineWidth: s.bulkWidth,
 	}
@@ -283,14 +423,16 @@ func (s *server) serve(tc net.Conn, payload []byte) {
 	}
 	defer conn.Close()
 	if err := conn.Handshake(); err != nil {
-		// The telemetry registry (when enabled) has already counted
-		// this failure under the same reason tag via ssl.Conn.
-		log.Printf("%s: handshake failed (%s): %v",
+		// The telemetry registry and lifecycle close-log (when
+		// enabled) have already recorded this failure under the same
+		// canonical fail class via ssl.Conn; the console line rides
+		// the token bucket so a failure storm cannot flood the log.
+		s.connLog.Printf("%s: handshake failed (%s): %v",
 			tc.RemoteAddr(), ssl.FailureReason(err), err)
 		return
 	}
 	state, _ := conn.ConnectionState()
-	log.Printf("%s: %s resumed=%v", tc.RemoteAddr(), state.Suite.Name, state.Resumed)
+	s.connLog.Printf("%s: %s resumed=%v", tc.RemoteAddr(), state.Suite.Name, state.Resumed)
 	buf := make([]byte, 4096)
 	// The bulk loop runs under the bulk_transfer pprof label (a no-op
 	// unless -pprof-labels armed them), so CPU profiles separate data

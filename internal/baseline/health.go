@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sslperf/internal/probe"
+	"sslperf/internal/slo"
 	"sslperf/internal/trace"
 )
 
@@ -117,11 +118,14 @@ func PaperExpectation() AnatomyExpectation {
 	}
 }
 
-// A HealthCheck is one expectation's live verdict.
+// A HealthCheck is one expectation's live verdict. Unit annotates
+// Value in the text rendering; empty means percent (the anatomy
+// shares), the SLO burn check uses "x" (a budget multiplier).
 type HealthCheck struct {
 	Name   string  `json:"name"`
 	Status string  `json:"status"`
 	Value  float64 `json:"value"`
+	Unit   string  `json:"unit,omitempty"`
 	Want   string  `json:"want"`
 	Detail string  `json:"detail,omitempty"`
 }
@@ -141,7 +145,11 @@ func (h HealthReport) Text() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s (%d handshakes folded)\n", h.Status, h.Handshakes)
 	for _, c := range h.Checks {
-		fmt.Fprintf(&sb, "  %-8s %-18s %6.2f%%  want %s", c.Status, c.Name, c.Value, c.Want)
+		unit := c.Unit
+		if unit == "" {
+			unit = "%"
+		}
+		fmt.Fprintf(&sb, "  %-8s %-18s %6.2f%s  want %s", c.Status, c.Name, c.Value, unit, c.Want)
 		if c.Detail != "" {
 			fmt.Fprintf(&sb, "  (%s)", c.Detail)
 		}
@@ -231,13 +239,63 @@ func CheckAnatomy(snap trace.AnatomySnapshot, exp AnatomyExpectation) HealthRepo
 	return rep
 }
 
+// SLOBurnCheck adapts one SLO window's burn rate into a /debug/health
+// check: DRIFTING when the window is burning its error budget faster
+// than maxBurn, NO_DATA while the window is empty. Pass it to
+// RegisterHealth as an extra check to fold the SLO verdict into the
+// anatomy gate.
+func SLOBurnCheck(t *slo.Tracker, window string, maxBurn float64) func() HealthCheck {
+	return func() HealthCheck {
+		ws := t.Snapshot().Window(window)
+		c := HealthCheck{
+			Name:   "slo_burn:" + window,
+			Status: StatusOK,
+			Value:  ws.BurnRate,
+			Unit:   "x",
+			Want:   fmt.Sprintf("<= %.1fx budget", maxBurn),
+		}
+		if ws.Handshakes == 0 {
+			c.Status = StatusNoData
+			return c
+		}
+		if ws.BurnRate > maxBurn {
+			c.Status = StatusDrifting
+			c.Detail = fmt.Sprintf("%d of %d handshakes bad (failed %d, slow %d)",
+				ws.Failed+ws.Slow, ws.Handshakes, ws.Failed, ws.Slow)
+		}
+		return c
+	}
+}
+
 // RegisterHealth mounts /debug/health on mux, folding each request's
 // fresh anatomy snapshot through exp. DRIFTING answers 503 so a plain
 // curl -f (or a load balancer) can gate on it; OK and NO_DATA answer
 // 200. ?format=text renders the terse table.
-func RegisterHealth(mux *http.ServeMux, snapshot func() trace.AnatomySnapshot, exp AnatomyExpectation) {
+//
+// Extra checks (e.g. the SLO burn-rate fold from internal/slo) are
+// evaluated per request and appended to the report; a DRIFTING extra
+// drifts the whole verdict even when the anatomy is clean. A nil
+// snapshot skips the anatomy checks entirely — the endpoint then
+// answers from the extras alone (a server run without tracing still
+// gets its SLO verdict) and reads OK once any extra has data.
+func RegisterHealth(mux *http.ServeMux, snapshot func() trace.AnatomySnapshot, exp AnatomyExpectation, extra ...func() HealthCheck) {
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, req *http.Request) {
-		rep := CheckAnatomy(snapshot(), exp)
+		var rep HealthReport
+		if snapshot != nil {
+			rep = CheckAnatomy(snapshot(), exp)
+		} else {
+			rep = HealthReport{At: time.Now(), Status: StatusNoData}
+		}
+		for _, fn := range extra {
+			c := fn()
+			rep.Checks = append(rep.Checks, c)
+			if c.Status == StatusDrifting && rep.Status != StatusDrifting {
+				rep.Status = StatusDrifting
+			}
+			if snapshot == nil && c.Status == StatusOK && rep.Status == StatusNoData {
+				rep.Status = StatusOK
+			}
+		}
 		code := http.StatusOK
 		if rep.Status == StatusDrifting {
 			code = http.StatusServiceUnavailable

@@ -34,8 +34,39 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 		return checkLoadShape(r), true
 	case "bulk-path":
 		return checkBulkShape(r), true
+	case "lifecycle-conn-table":
+		return checkLifecycleShape(r), true
 	}
 	return nil, false
+}
+
+// checkLifecycleShape pins the conn-table hot path at zero
+// allocations per operation: register/transition/close recycle pooled
+// entries and reuse shard-map slots, so the lifecycle observatory can
+// ride every production connection without generating garbage. Any
+// ConnTable result allocating means the pool or the fixed-size
+// timeline regressed.
+func checkLifecycleShape(r *Report) []Violation {
+	var out []Violation
+	var seen int
+	for _, name := range r.SortedResults() {
+		if !strings.HasPrefix(name, "ConnTable/") {
+			continue
+		}
+		allocs, ok := r.Metric(name, "allocs/op")
+		if !ok {
+			continue
+		}
+		seen++
+		if allocs > 0 {
+			out = append(out, Violation{"lifecycle-allocs",
+				fmt.Sprintf("%s allocs/op %.1f, want 0 (entry pool or fixed timeline regressed)", name, allocs)})
+		}
+	}
+	if seen == 0 {
+		out = append(out, Violation{"lifecycle-results", "no ConnTable/* results with allocs/op found"})
+	}
+	return out
 }
 
 // checkBulkShape pins the bulk-path orderings of the paper's Tables

@@ -1,0 +1,69 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"sslperf/internal/probe"
+	"sslperf/internal/slo"
+)
+
+// BenchmarkConnTable pins the conn-table hot path: registering,
+// transitioning, and closing an entry must be allocation-free steady
+// state (the sync.Pool recycles entries, the shard maps reuse freed
+// slots), so attaching the observatory to a server costs bookkeeping,
+// not garbage. The figures land in docs/BENCH_lifecycle.json via make
+// bench, gated at zero allocs/op by the lifecycle-conn-table shape.
+func BenchmarkConnTable(b *testing.B) {
+	warm := func(t *Table) {
+		for i := 0; i < 64; i++ {
+			t.Register("warm").Close()
+		}
+	}
+
+	b.Run("register-close", func(b *testing.B) {
+		tab := NewTable(Options{})
+		warm(tab)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tab.Register("bench").Close()
+		}
+	})
+
+	b.Run("full-life", func(b *testing.B) {
+		// The whole lifecycle a served connection pays: register,
+		// handshake transitions with step and record events on the
+		// spine, SLO fold, close.
+		tab := NewTable(Options{SLO: slo.New(slo.Config{})})
+		warm(tab)
+		at := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := tab.Register("bench")
+			c.HandshakeStart()
+			c.Emit(probe.Event{Kind: probe.KindStepEnter, Step: probe.StepGetClientHello, At: at})
+			c.Emit(probe.Event{Kind: probe.KindStepExit, Step: probe.StepGetClientHello, At: at, Dur: time.Microsecond})
+			c.Emit(probe.Event{Kind: probe.KindStepEnter, Step: probe.StepGetClientKX, At: at})
+			c.Emit(probe.Event{Kind: probe.KindStepExit, Step: probe.StepGetClientKX, At: at, Dur: time.Microsecond})
+			c.Emit(probe.Event{Kind: probe.KindRecordIO, Bytes: 512, Written: false})
+			c.Emit(probe.Event{Kind: probe.KindRecordIO, Bytes: 512, Written: true})
+			c.Established("RC4-MD5", 0x0300, false, time.Millisecond)
+			c.Draining()
+			c.Close()
+		}
+	})
+
+	b.Run("emit", func(b *testing.B) {
+		tab := NewTable(Options{})
+		c := tab.Register("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Emit(probe.Event{Kind: probe.KindRecordIO, Bytes: 1024, Written: i&1 == 0})
+		}
+		b.StopTimer()
+		c.Close()
+	})
+}

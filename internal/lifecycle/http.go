@@ -1,0 +1,110 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text renders the snapshot as an aligned table.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "conns: %d live (opened %d, closed %d, failed %d)\n",
+		s.Live, s.Opened, s.Closed, s.Failed)
+	if len(s.ByState) > 0 {
+		states := make([]string, 0, len(s.ByState))
+		for st := range s.ByState {
+			states = append(states, st)
+		}
+		sort.Strings(states)
+		sb.WriteString("by state:")
+		for _, st := range states {
+			fmt.Fprintf(&sb, " %s=%d", st, s.ByState[st])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(s.FailClasses) > 0 {
+		tags := make([]string, 0, len(s.FailClasses))
+		for tag := range s.FailClasses {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		sb.WriteString("failures by class:")
+		for _, tag := range tags {
+			fmt.Fprintf(&sb, " %s=%d", tag, s.FailClasses[tag])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "close-log: %d successes, %d failures, %d logged, %d suppressed\n",
+		s.CloseLog.Successes, s.CloseLog.Failures, s.CloseLog.Logged, s.CloseLog.Suppressed)
+	if len(s.Conns) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-6s %-12s %-18s %-22s %-26s %8s %8s %10s %10s %10s %s\n",
+		"id", "state", "step", "remote", "suite", "age-ms", "idle-ms", "hs-us", "bytes-in", "bytes-out", "fail")
+	for _, c := range s.Conns {
+		suite := c.Suite
+		if c.Resumed {
+			suite += " (resumed)"
+		}
+		fail := c.FailTag
+		if fail == "" {
+			fail = c.FailClass
+		}
+		fmt.Fprintf(&sb, "%-6d %-12s %-18s %-22s %-26s %8.1f %8.1f %10.0f %10d %10d %s\n",
+			c.ID, c.State, c.Step, c.Remote, suite, c.AgeMs, c.IdleMs, c.HandshakeUs,
+			c.BytesIn, c.BytesOut, fail)
+	}
+	if s.Truncated > 0 {
+		fmt.Fprintf(&sb, "... %d more rows (raise ?limit=)\n", s.Truncated)
+	}
+	return sb.String()
+}
+
+// JSON marshals the snapshot indented.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Register mounts the connection observatory on mux:
+//
+//	/debug/conns  the live connection table (?state=handshaking
+//	              filters, ?limit=N caps rows, ?format=text for the
+//	              aligned table)
+func Register(mux *http.ServeMux, t *Table) {
+	mux.HandleFunc("/debug/conns", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var opts SnapshotOptions
+		if st := q.Get("state"); st != "" {
+			if _, ok := StateByName(st); !ok {
+				http.Error(w, "unknown state "+strconv.Quote(st), http.StatusBadRequest)
+				return
+			}
+			opts.State = st
+		}
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			opts.Limit = n
+		}
+		snap := t.Snapshot(opts)
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(snap.Text()))
+			return
+		}
+		b, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+}

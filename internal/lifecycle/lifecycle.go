@@ -1,0 +1,532 @@
+// Package lifecycle is the live connection observatory: a lock-striped
+// table of every registered ssl.Conn, tracked from accept through the
+// handshake's Table-2 steps to established/draining/closed, with the
+// canonical probe.FailClass taxonomy on failures and a structured
+// close-log (one JSON line per connection close) that makes per-conn
+// anatomy greppable offline.
+//
+// Where internal/telemetry answers "how many, how fast" in aggregate,
+// this package answers the triage questions aggregates cannot: which
+// connections are stuck in step get_client_kx right now, why did the
+// last 500 handshakes fail, what did connection 123's life look like.
+// Entries ride the probe spine (each *Conn is a probe.Sink on its
+// connection's bus), so the step cursor and byte counters here cannot
+// disagree with the anatomy or telemetry surfaces.
+//
+// The table is sharded 64 ways by connection ID and entries are
+// pooled, so registering, transitioning, and closing a connection is
+// allocation-free steady-state and a million live entries do not
+// contend on one lock (docs/BENCH_lifecycle.json holds the measured
+// hot-path cost).
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sslperf/internal/probe"
+	"sslperf/internal/slo"
+)
+
+// State is a connection's position in its lifecycle.
+type State uint8
+
+// Lifecycle states, in the order a healthy connection passes through
+// them. Failed replaces Established..Closed on a handshake error.
+const (
+	StateAccepted State = iota
+	StateHandshaking
+	StateEstablished
+	StateDraining
+	StateClosed
+	StateFailed
+
+	stateCount
+)
+
+var stateNames = [stateCount]string{
+	StateAccepted:    "accepted",
+	StateHandshaking: "handshaking",
+	StateEstablished: "established",
+	StateDraining:    "draining",
+	StateClosed:      "closed",
+	StateFailed:      "failed",
+}
+
+// Name returns the state's snake_case name.
+func (s State) Name() string {
+	if s >= stateCount {
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+	return stateNames[s]
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string { return s.Name() }
+
+// StateByName resolves a state name (the /debug/conns?state= filter);
+// ok is false for unknown names.
+func StateByName(name string) (State, bool) {
+	for s := State(0); s < stateCount; s++ {
+		if stateNames[s] == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// StepTiming is one completed handshake step on a connection's
+// timeline.
+type StepTiming struct {
+	Step probe.Step
+	Dur  time.Duration
+}
+
+// maxTimeline bounds the per-conn step timeline: the longest path (a
+// full DHE handshake) completes 11 steps, so 16 leaves slack without
+// ever reallocating.
+const maxTimeline = 16
+
+// A Conn is one live table entry. It implements probe.Sink: attached
+// to its connection's bus it maintains the current-step cursor, the
+// step timeline, and the byte/record counters from the same event
+// stream every other surface reads.
+type Conn struct {
+	tab *Table
+
+	// Immutable after Register.
+	ID     uint64
+	Remote string
+	Opened time.Time
+
+	// Single-writer counters (the connection's goroutine), read by
+	// snapshots without the lock.
+	lastActivity          atomic.Int64 // unix nanos
+	bytesIn, bytesOut     atomic.Uint64
+	recordsIn, recordsOut atomic.Uint64
+
+	// mu guards the mutable fields below against snapshot readers.
+	mu         sync.Mutex
+	state      State
+	step       probe.Step // open step while handshaking
+	suite      string
+	version    uint16
+	resumed    bool
+	hsDur      time.Duration
+	queueDelay time.Duration // accept to first step enter
+	sawStep    bool
+	timeline   [maxTimeline]StepTiming
+	timelineN  int
+	failClass  probe.FailClass
+	failTag    string
+	failDetail string
+}
+
+// shardCount stripes the table; must be a power of two.
+const shardCount = 64
+
+type shard struct {
+	mu    sync.Mutex
+	conns map[uint64]*Conn
+}
+
+// Options configures a Table.
+type Options struct {
+	// SLO, when non-nil, receives handshake outcomes, in-flight
+	// transitions, and queue delays from every registered connection.
+	SLO *slo.Tracker
+	// CloseLog, when non-nil, receives one structured record per
+	// connection close.
+	CloseLog *CloseLog
+}
+
+// A Table is the live connection table. All methods are safe for
+// concurrent use; a nil *Table no-ops everywhere so callers can wire
+// it unconditionally.
+type Table struct {
+	seq    atomic.Uint64
+	shards [shardCount]shard
+	pool   sync.Pool
+
+	slo      *slo.Tracker
+	closeLog *CloseLog
+
+	opened atomic.Uint64
+	closed atomic.Uint64
+	failed atomic.Uint64
+
+	// failClasses counts terminal failures by tag — the taxonomy
+	// summary /debug/conns renders. One touch per failed connection.
+	failMu      sync.Mutex
+	failClasses map[string]uint64
+}
+
+// NewTable returns an empty table.
+func NewTable(opts Options) *Table {
+	t := &Table{slo: opts.SLO, closeLog: opts.CloseLog, failClasses: make(map[string]uint64)}
+	t.pool.New = func() any { return new(Conn) }
+	for i := range t.shards {
+		t.shards[i].conns = make(map[uint64]*Conn)
+	}
+	return t
+}
+
+// SLO returns the tracker the table feeds (nil when none).
+func (t *Table) SLO() *slo.Tracker {
+	if t == nil {
+		return nil
+	}
+	return t.slo
+}
+
+// CloseLog returns the table's close-log sink (nil when none).
+func (t *Table) CloseLog() *CloseLog {
+	if t == nil {
+		return nil
+	}
+	return t.closeLog
+}
+
+// Register adds a connection at accept time and returns its live
+// entry (nil on a nil table — every *Conn method tolerates nil).
+func (t *Table) Register(remote string) *Conn {
+	if t == nil {
+		return nil
+	}
+	c := t.pool.Get().(*Conn)
+	*c = Conn{tab: t, ID: t.seq.Add(1), Remote: remote, Opened: time.Now()}
+	c.lastActivity.Store(c.Opened.UnixNano())
+	t.opened.Add(1)
+	sh := &t.shards[c.ID%shardCount]
+	sh.mu.Lock()
+	sh.conns[c.ID] = c
+	sh.mu.Unlock()
+	return c
+}
+
+// Len reports the live entry count.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.conns)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Reset drops every live entry (without close-logging them) and
+// zeroes the cumulative counters — the /debug/reset hook. The ID
+// sequence keeps running so IDs stay unique across the cut, and any
+// still-registered *Conn keeps working (its terminal Close finds the
+// entry already gone and skips the table bookkeeping).
+func (t *Table) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		// Entries are dropped, not recycled: their owning connections
+		// may still emit into them.
+		sh.conns = make(map[uint64]*Conn)
+		sh.mu.Unlock()
+	}
+	t.opened.Store(0)
+	t.closed.Store(0)
+	t.failed.Store(0)
+	t.failMu.Lock()
+	t.failClasses = make(map[string]uint64)
+	t.failMu.Unlock()
+	t.closeLog.resetCounts()
+}
+
+// HandshakeStart marks the connection handshaking.
+func (c *Conn) HandshakeStart() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.state = StateHandshaking
+	c.mu.Unlock()
+	c.tab.slo.HandshakeBegin()
+}
+
+// Established records a successful handshake.
+func (c *Conn) Established(suiteName string, version uint16, resumed bool, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.state = StateEstablished
+	c.step = probe.StepNone
+	c.suite = suiteName
+	c.version = version
+	c.resumed = resumed
+	c.hsDur = d
+	c.mu.Unlock()
+	c.tab.slo.HandshakeEnd(d, false)
+}
+
+// Failed records a failed handshake with its canonical class and tag
+// (ssl.Classify / ssl.FailureReason) plus the free-form error text.
+func (c *Conn) Failed(class probe.FailClass, tag, detail string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.state = StateFailed
+	c.step = probe.StepNone
+	c.hsDur = d
+	c.failClass = class
+	c.failTag = tag
+	c.failDetail = detail
+	c.mu.Unlock()
+	c.tab.slo.HandshakeEnd(d, true)
+}
+
+// Draining marks the connection draining (close initiated, flush in
+// progress). Terminal failure state is preserved.
+func (c *Conn) Draining() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.state != StateFailed {
+		c.state = StateDraining
+	}
+	c.mu.Unlock()
+}
+
+// Close finalizes the entry: emits the close-log record, removes the
+// entry from the table, and recycles it. The entry must not be used
+// afterwards.
+func (c *Conn) Close() {
+	if c == nil {
+		return
+	}
+	t := c.tab
+	c.mu.Lock()
+	if c.state != StateFailed {
+		c.state = StateClosed
+	}
+	rec := c.closeRecordLocked()
+	failed := c.state == StateFailed
+	c.mu.Unlock()
+
+	t.closeLog.observe(rec)
+	t.closed.Add(1)
+	if failed {
+		t.failed.Add(1)
+		t.failMu.Lock()
+		t.failClasses[rec.FailTag]++
+		t.failMu.Unlock()
+	}
+
+	sh := &t.shards[c.ID%shardCount]
+	sh.mu.Lock()
+	live := sh.conns[c.ID] == c
+	if live {
+		delete(sh.conns, c.ID)
+	}
+	sh.mu.Unlock()
+	if live {
+		// Only entries still owned by the table are recycled; a Reset
+		// may have dropped this one while its connection lived on.
+		t.pool.Put(c)
+	}
+}
+
+// Emit implements probe.Sink: the table entry rides its connection's
+// bus, folding step boundaries, record I/O, and activity out of the
+// same event stream every other sink sees. Called on the connection's
+// goroutine only.
+func (c *Conn) Emit(e probe.Event) {
+	switch e.Kind {
+	case probe.KindStepEnter:
+		c.mu.Lock()
+		c.step = e.Step
+		if !c.sawStep {
+			c.sawStep = true
+			c.queueDelay = e.At.Sub(c.Opened)
+			c.tab.slo.ObserveQueueDelay(c.queueDelay)
+		}
+		c.mu.Unlock()
+		c.lastActivity.Store(e.At.UnixNano())
+	case probe.KindStepExit:
+		c.mu.Lock()
+		c.step = probe.StepNone
+		if c.timelineN < maxTimeline {
+			c.timeline[c.timelineN] = StepTiming{Step: e.Step, Dur: e.Dur}
+			c.timelineN++
+		}
+		c.mu.Unlock()
+		c.lastActivity.Store(e.At.UnixNano())
+	case probe.KindRecordIO:
+		if e.Written {
+			c.recordsOut.Add(1)
+			c.bytesOut.Add(uint64(e.Bytes))
+		} else {
+			c.recordsIn.Add(1)
+			c.bytesIn.Add(uint64(e.Bytes))
+		}
+		c.lastActivity.Store(time.Now().UnixNano())
+	}
+}
+
+// versionName names a wire version for rendering (matching the
+// telemetry registry's keys).
+func versionName(v uint16) string {
+	switch v {
+	case 0x0300:
+		return "SSLv3"
+	case 0x0301:
+		return "TLSv1.0"
+	case 0:
+		return ""
+	}
+	return fmt.Sprintf("%#04x", v)
+}
+
+// ConnInfo is one entry's snapshot row.
+type ConnInfo struct {
+	ID      uint64 `json:"id"`
+	Remote  string `json:"remote,omitempty"`
+	State   string `json:"state"`
+	Step    string `json:"step,omitempty"` // open Table-2 step while handshaking
+	Suite   string `json:"suite,omitempty"`
+	Version string `json:"version,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+
+	AgeMs  float64 `json:"age_ms"`
+	IdleMs float64 `json:"idle_ms"`
+
+	HandshakeUs  float64 `json:"handshake_us,omitempty"`
+	QueueDelayUs float64 `json:"queue_delay_us,omitempty"`
+
+	BytesIn    uint64 `json:"bytes_in"`
+	BytesOut   uint64 `json:"bytes_out"`
+	RecordsIn  uint64 `json:"records_in"`
+	RecordsOut uint64 `json:"records_out"`
+
+	FailClass string `json:"fail_class,omitempty"`
+	FailTag   string `json:"fail_tag,omitempty"`
+}
+
+// info snapshots the entry. Callers must not hold c.mu.
+func (c *Conn) info(now time.Time) ConnInfo {
+	c.mu.Lock()
+	ci := ConnInfo{
+		ID:      c.ID,
+		Remote:  c.Remote,
+		State:   c.state.Name(),
+		Suite:   c.suite,
+		Version: versionName(c.version),
+		Resumed: c.resumed,
+		AgeMs:   float64(now.Sub(c.Opened)) / float64(time.Millisecond),
+	}
+	if c.state == StateHandshaking && c.step != probe.StepNone {
+		ci.Step = c.step.Name()
+	}
+	if c.hsDur > 0 {
+		ci.HandshakeUs = float64(c.hsDur) / float64(time.Microsecond)
+	}
+	if c.sawStep {
+		ci.QueueDelayUs = float64(c.queueDelay) / float64(time.Microsecond)
+	}
+	if c.state == StateFailed {
+		ci.FailClass = c.failClass.Name()
+		ci.FailTag = c.failTag
+	}
+	c.mu.Unlock()
+	ci.IdleMs = float64(now.UnixNano()-c.lastActivity.Load()) / float64(time.Millisecond)
+	if ci.IdleMs < 0 {
+		ci.IdleMs = 0
+	}
+	ci.BytesIn = c.bytesIn.Load()
+	ci.BytesOut = c.bytesOut.Load()
+	ci.RecordsIn = c.recordsIn.Load()
+	ci.RecordsOut = c.recordsOut.Load()
+	return ci
+}
+
+// SnapshotOptions filter a table snapshot.
+type SnapshotOptions struct {
+	// State restricts rows to one state name ("" = all).
+	State string
+	// Limit caps the rows returned (0 = no cap). Counts and the
+	// by-state histogram still cover the whole table.
+	Limit int
+}
+
+// A Snapshot is the /debug/conns body.
+type Snapshot struct {
+	At   time.Time `json:"at"`
+	Live int       `json:"live"`
+
+	Opened uint64 `json:"total_opened"`
+	Closed uint64 `json:"total_closed"`
+	Failed uint64 `json:"total_failed"`
+
+	ByState     map[string]int    `json:"by_state,omitempty"`
+	FailClasses map[string]uint64 `json:"fail_classes,omitempty"`
+
+	CloseLog CloseLogCounts `json:"close_log"`
+
+	Truncated int        `json:"truncated,omitempty"` // rows dropped by Limit
+	Conns     []ConnInfo `json:"conns"`
+}
+
+// Snapshot copies the live table. Rows are ordered by connection ID.
+func (t *Table) Snapshot(opts SnapshotOptions) Snapshot {
+	now := time.Now()
+	snap := Snapshot{At: now, ByState: make(map[string]int)}
+	if t == nil {
+		return snap
+	}
+	snap.Opened = t.opened.Load()
+	snap.Closed = t.closed.Load()
+	snap.Failed = t.failed.Load()
+	snap.CloseLog = t.closeLog.Counts()
+	var rows []ConnInfo
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.conns {
+			ci := c.info(now)
+			snap.Live++
+			snap.ByState[ci.State]++
+			if opts.State != "" && ci.State != opts.State {
+				continue
+			}
+			rows = append(rows, ci)
+		}
+		sh.mu.Unlock()
+	}
+	t.failMu.Lock()
+	if len(t.failClasses) > 0 {
+		snap.FailClasses = make(map[string]uint64, len(t.failClasses))
+		for k, v := range t.failClasses {
+			snap.FailClasses[k] = v
+		}
+	}
+	t.failMu.Unlock()
+	sortConns(rows)
+	if opts.Limit > 0 && len(rows) > opts.Limit {
+		snap.Truncated = len(rows) - opts.Limit
+		rows = rows[:opts.Limit]
+	}
+	snap.Conns = rows
+	return snap
+}
+
+func sortConns(rows []ConnInfo) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sslperf/internal/handshake"
+	"sslperf/internal/lifecycle"
 	"sslperf/internal/ssl"
 	"sslperf/internal/telemetry"
 	"sslperf/internal/trace"
@@ -24,6 +25,11 @@ type ServerOptions struct {
 	// close the loop through /debug/health without a second process.
 	Telemetry *telemetry.Registry
 	Tracer    *trace.Tracer
+
+	// Lifecycle, when set, registers every server connection in the
+	// live table, so an in-process run can smoke /debug/conns and
+	// /debug/slo end to end.
+	Lifecycle *lifecycle.Table
 }
 
 // A Server is a minimal in-process sslserver: the same LEN-framed
@@ -67,6 +73,7 @@ func StartServer(opt ServerOptions) (*Server, error) {
 			SessionCache: handshake.NewSessionCache(4096),
 			Telemetry:    opt.Telemetry,
 			Tracer:       opt.Tracer,
+			Lifecycle:    opt.Lifecycle,
 		},
 		payload: workload.Payload(opt.FileSize),
 	}

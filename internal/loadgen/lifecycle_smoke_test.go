@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sslperf/internal/lifecycle"
+	"sslperf/internal/slo"
+	"sslperf/internal/ssl"
+	"sslperf/internal/telemetry"
+)
+
+// TestLifecycleObservatorySmoke closes the loop the way an operator
+// would during an sslload run: an in-process server with the full
+// lifecycle stack attached, /debug/conns and /debug/slo served over
+// real HTTP showing live data mid-run, and afterwards an exact
+// reconciliation of the close-log ledger against the telemetry
+// handshake counters.
+func TestLifecycleObservatorySmoke(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracker := slo.New(slo.Config{TargetP99: 5 * time.Second})
+	var closeBuf bytes.Buffer
+	tab := lifecycle.NewTable(lifecycle.Options{
+		SLO:      tracker,
+		CloseLog: lifecycle.NewCloseLog(&closeBuf, 1),
+	})
+	srv, err := StartServer(ServerOptions{
+		KeyBits:   512,
+		FileSize:  512,
+		Seed:      42,
+		Telemetry: reg,
+		Lifecycle: tab,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	lifecycle.Register(mux, tab)
+	slo.Register(mux, tracker)
+	web := httptest.NewServer(mux)
+	defer web.Close()
+
+	// Hold one connection established so the live table has a row to
+	// show while the load runs.
+	tc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := ssl.ClientConn(tc, &ssl.Config{Rand: ssl.NewPRNG(7), InsecureSkipVerify: true})
+	if err := held.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+
+	var connsSnap lifecycle.Snapshot
+	getJSON(t, web.URL+"/debug/conns?state=established", &connsSnap)
+	if connsSnap.Live < 1 || len(connsSnap.Conns) < 1 {
+		t.Fatalf("live table empty with a connection held open: %+v", connsSnap)
+	}
+	row := connsSnap.Conns[0]
+	if row.State != "established" || row.Suite == "" || row.Remote == "" {
+		t.Fatalf("held connection row %+v", row)
+	}
+
+	res, err := Run(Config{
+		Addr:        srv.Addr(),
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Requests:    2,
+		Seed:        99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done == 0 {
+		t.Fatal("load run completed no connections")
+	}
+
+	var sloSnap slo.Snapshot
+	getJSON(t, web.URL+"/debug/slo", &sloSnap)
+	w10 := sloSnap.Window("10s")
+	if w10.Handshakes == 0 {
+		t.Fatalf("SLO 10s window empty after a load run: %+v", sloSnap)
+	}
+	if w10.QueueDelays == 0 {
+		t.Fatal("SLO saw no accept-to-first-step queue delays")
+	}
+
+	// The text renderings serve too.
+	for _, path := range []string{"/debug/conns?format=text", "/debug/slo?format=text"} {
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Drain everything, then reconcile exactly.
+	held.Close()
+	srv.Close()
+
+	final := tab.Snapshot(lifecycle.SnapshotOptions{})
+	if final.Live != 0 {
+		t.Fatalf("%d connections still live after server close", final.Live)
+	}
+	if final.Opened != final.Closed {
+		t.Fatalf("opened %d != closed %d", final.Opened, final.Closed)
+	}
+
+	tsnap := reg.Snapshot()
+	hsDone := tsnap.Handshakes.Full + tsnap.Handshakes.Resumed
+	ledger := final.CloseLog
+	if ledger.Successes != hsDone {
+		t.Fatalf("close-log successes %d != telemetry handshakes done %d",
+			ledger.Successes, hsDone)
+	}
+	if ledger.Failures != tsnap.Handshakes.Failed {
+		t.Fatalf("close-log failures %d != telemetry failures %d",
+			ledger.Failures, tsnap.Handshakes.Failed)
+	}
+	if ledger.Successes+ledger.Failures != final.Closed {
+		t.Fatalf("ledger %d+%d does not cover %d closes",
+			ledger.Successes, ledger.Failures, final.Closed)
+	}
+
+	// Every close emitted exactly one JSON line (sampling 1-in-1), and
+	// each line parses.
+	var lines uint64
+	sc := bufio.NewScanner(&closeBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("close-log line %d is not JSON: %v", lines+1, err)
+		}
+		if rec["msg"] != "conn_close" {
+			t.Fatalf("close-log line %d msg %v", lines+1, rec["msg"])
+		}
+		lines++
+	}
+	if lines != ledger.Logged {
+		t.Fatalf("%d close-log lines on the wire, ledger says %d", lines, ledger.Logged)
+	}
+	if lines != final.Closed {
+		t.Fatalf("%d close-log lines for %d closes at sample=1", lines, final.Closed)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}

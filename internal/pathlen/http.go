@@ -33,6 +33,7 @@ func Register(mux *http.ServeMux, c *Collector, onReset ...func()) {
 	})
 	mux.HandleFunc("/debug/pathlength/reset", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}

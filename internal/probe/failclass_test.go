@@ -1,0 +1,45 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailClassesNamed pins the taxonomy's surface: every class has a
+// distinct snake_case name (telemetry tags, close-log fields, and the
+// failclasslint gate all key on these strings).
+func TestFailClassesNamed(t *testing.T) {
+	classes := FailClasses()
+	if len(classes) != int(failClassCount) {
+		t.Fatalf("FailClasses() returned %d classes, want %d", len(classes), failClassCount)
+	}
+	if classes[0] != FailNone {
+		t.Fatalf("FailClasses()[0] = %v, want FailNone", classes[0])
+	}
+	seen := make(map[string]FailClass)
+	for i, c := range classes {
+		if FailClass(i) != c {
+			t.Fatalf("FailClasses()[%d] = %d, want declaration order", i, c)
+		}
+		name := c.Name()
+		if name == "" || strings.HasPrefix(name, "fail_class(") {
+			t.Fatalf("class %d has no name", c)
+		}
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " -") {
+			t.Fatalf("class %d name %q is not snake_case", c, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("classes %d and %d share the name %q", prev, c, name)
+		}
+		seen[name] = c
+		if c.String() != name {
+			t.Fatalf("String() %q != Name() %q", c.String(), name)
+		}
+	}
+}
+
+func TestFailClassUnknownName(t *testing.T) {
+	if got := FailClass(200).Name(); got != "fail_class(200)" {
+		t.Fatalf("unknown class name = %q", got)
+	}
+}

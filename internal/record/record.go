@@ -78,10 +78,16 @@ const (
 	AlertIllegalParameter   = 47
 )
 
-// AlertError is an alert received from the peer, surfaced as an error.
+// AlertError is an alert surfaced as an error: either one the peer
+// sent on the wire (Peer=true) or one this end synthesized on a local
+// integrity failure (Peer=false — the bad-MAC/bad-padding cases,
+// which the caller turns into an outbound bad_record_mac alert). The
+// flag is what lets the failure taxonomy tell "the peer told us why"
+// apart from "we caught corruption ourselves".
 type AlertError struct {
 	Level       byte
 	Description byte
+	Peer        bool
 }
 
 // AlertName returns the protocol name of an alert description code,
@@ -443,7 +449,7 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 		if len(payload) != 2 {
 			return 0, nil, errors.New("record: malformed alert")
 		}
-		return typ, payload, &AlertError{Level: payload[0], Description: payload[1]}
+		return typ, payload, &AlertError{Level: payload[0], Description: payload[1], Peer: true}
 	}
 	return typ, payload, nil
 }

@@ -1,0 +1,319 @@
+// Package slo tracks the server's handshake service-level objective
+// live: rolling multi-window (10s/1m/5m) handshake-latency and
+// error-rate windows, burn rate against a configurable latency target
+// and error budget, and the overload gauges the admission-control
+// front end reads — in-flight handshake count and accept-to-first-step
+// queue delay.
+//
+// The burn-rate model is the standard multi-window one: an event is
+// "bad" when its handshake failed or finished slower than the target;
+// the burn rate is the bad fraction divided by the error budget, so
+// 1.0 means "consuming exactly the allowed budget", 10 means "ten
+// times too fast — the 10s window will page before the 5m window
+// confirms". A fleet under overload shows the short window spiking
+// first, which is precisely the early signal load shedding needs
+// before queues reach the RSA step.
+package slo
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Window lengths reported by Snapshot, shortest first.
+var windows = []struct {
+	name string
+	secs int64
+}{
+	{"10s", 10},
+	{"1m", 60},
+	{"5m", 300},
+}
+
+// bucketCount is the ring length: one bucket per second, sized to the
+// longest window.
+const bucketCount = 300
+
+// latBuckets is the log2 latency histogram width: bucket i holds
+// durations with bit-length i nanoseconds, so 48 covers ~78 hours.
+const latBuckets = 48
+
+// bucket accumulates one wall-clock second of observations.
+type bucket struct {
+	sec    int64 // unix second this bucket currently holds
+	total  uint64
+	failed uint64
+	slow   uint64 // successes over the latency target
+	sumNs  uint64
+	lat    [latBuckets]uint32
+
+	queueDelays uint64
+	queueSumNs  uint64
+	queueMaxNs  uint64
+}
+
+func (b *bucket) reset(sec int64) {
+	*b = bucket{sec: sec}
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// TargetP99 is the handshake-latency objective: a success slower
+	// than this is a "bad" event against the budget. Default 50ms.
+	TargetP99 time.Duration
+	// ErrorBudget is the allowed bad-event fraction (0.01 = 99% of
+	// handshakes fast and successful). Default 0.01.
+	ErrorBudget float64
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// A Tracker maintains the rolling windows. All methods are safe for
+// concurrent use and no-ops on a nil receiver, matching the telemetry
+// layer's discipline.
+type Tracker struct {
+	target   time.Duration
+	budget   float64
+	now      func() time.Time
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	buckets [bucketCount]bucket
+}
+
+// New returns a tracker with cfg's objective.
+func New(cfg Config) *Tracker {
+	if cfg.TargetP99 <= 0 {
+		cfg.TargetP99 = 50 * time.Millisecond
+	}
+	if cfg.ErrorBudget <= 0 {
+		cfg.ErrorBudget = 0.01
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Tracker{target: cfg.TargetP99, budget: cfg.ErrorBudget, now: cfg.Now}
+}
+
+// Target returns the latency objective.
+func (t *Tracker) Target() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.target
+}
+
+// bucketFor returns the ring bucket for sec, resetting it when it
+// still holds an older second. Callers hold t.mu.
+func (t *Tracker) bucketFor(sec int64) *bucket {
+	b := &t.buckets[sec%bucketCount]
+	if b.sec != sec {
+		b.reset(sec)
+	}
+	return b
+}
+
+func latBucket(d time.Duration) int {
+	i := bits.Len64(uint64(d))
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	return i
+}
+
+// HandshakeBegin counts a handshake entering flight.
+func (t *Tracker) HandshakeBegin() {
+	if t == nil {
+		return
+	}
+	t.inflight.Add(1)
+}
+
+// HandshakeEnd records one handshake outcome and releases its
+// in-flight slot.
+func (t *Tracker) HandshakeEnd(d time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.inflight.Add(-1)
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	b := t.bucketFor(t.now().Unix())
+	b.total++
+	b.sumNs += uint64(d)
+	b.lat[latBucket(d)]++
+	if failed {
+		b.failed++
+	} else if d > t.target {
+		b.slow++
+	}
+	t.mu.Unlock()
+}
+
+// ObserveQueueDelay records one accept-to-first-step delay: how long
+// an accepted connection waited before the handshake FSM touched it —
+// the queue-pressure gauge.
+func (t *Tracker) ObserveQueueDelay(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	b := t.bucketFor(t.now().Unix())
+	b.queueDelays++
+	b.queueSumNs += uint64(d)
+	if uint64(d) > b.queueMaxNs {
+		b.queueMaxNs = uint64(d)
+	}
+	t.mu.Unlock()
+}
+
+// InFlight returns the current in-flight handshake count.
+func (t *Tracker) InFlight() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.inflight.Load()
+}
+
+// Reset zeroes every window (the in-flight gauge is live state and is
+// preserved).
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.buckets {
+		t.buckets[i] = bucket{}
+	}
+	t.mu.Unlock()
+}
+
+// WindowStats is one window's aggregated view.
+type WindowStats struct {
+	Window  string `json:"window"`
+	Seconds int64  `json:"seconds"`
+
+	Handshakes uint64 `json:"handshakes"`
+	Failed     uint64 `json:"failed"`
+	Slow       uint64 `json:"slow"` // successes over target
+
+	ErrorRate float64 `json:"error_rate"`
+	BadRate   float64 `json:"bad_rate"` // (failed+slow)/handshakes
+	// BurnRate is BadRate over the error budget: 1.0 consumes the
+	// budget exactly, >1 burns it down.
+	BurnRate float64 `json:"burn_rate"`
+
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+
+	QueueDelays     uint64  `json:"queue_delays"`
+	QueueMeanUs     float64 `json:"queue_mean_us"`
+	QueueMaxUs      float64 `json:"queue_max_us"`
+	HandshakeRate   float64 `json:"handshakes_per_sec"`
+	windowLatTotals [latBuckets]uint64
+}
+
+// A Snapshot is the /debug/slo body.
+type Snapshot struct {
+	At          time.Time     `json:"at"`
+	TargetP99Ms float64       `json:"target_p99_ms"`
+	ErrorBudget float64       `json:"error_budget"`
+	InFlight    int64         `json:"inflight_handshakes"`
+	Windows     []WindowStats `json:"windows"`
+}
+
+// Snapshot aggregates the ring into the three windows.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	now := t.now()
+	nowSec := now.Unix()
+	snap := Snapshot{
+		At:          now,
+		TargetP99Ms: float64(t.target) / float64(time.Millisecond),
+		ErrorBudget: t.budget,
+		InFlight:    t.inflight.Load(),
+	}
+	t.mu.Lock()
+	for _, w := range windows {
+		ws := WindowStats{Window: w.name, Seconds: w.secs}
+		var sumNs, qSumNs, qMaxNs uint64
+		for i := range t.buckets {
+			b := &t.buckets[i]
+			// The current second is included; stale slots (sec outside
+			// the window) are skipped rather than reset, so Snapshot
+			// never disturbs writer state.
+			if b.sec > nowSec-w.secs && b.sec <= nowSec {
+				ws.Handshakes += b.total
+				ws.Failed += b.failed
+				ws.Slow += b.slow
+				sumNs += b.sumNs
+				for j, n := range b.lat {
+					ws.windowLatTotals[j] += uint64(n)
+				}
+				ws.QueueDelays += b.queueDelays
+				qSumNs += b.queueSumNs
+				if b.queueMaxNs > qMaxNs {
+					qMaxNs = b.queueMaxNs
+				}
+			}
+		}
+		if ws.Handshakes > 0 {
+			ws.ErrorRate = float64(ws.Failed) / float64(ws.Handshakes)
+			ws.BadRate = float64(ws.Failed+ws.Slow) / float64(ws.Handshakes)
+			ws.BurnRate = ws.BadRate / t.budget
+			ws.MeanUs = float64(sumNs) / float64(ws.Handshakes) / 1e3
+			ws.P50Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.50)
+			ws.P99Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.99)
+			ws.HandshakeRate = float64(ws.Handshakes) / float64(w.secs)
+		}
+		if ws.QueueDelays > 0 {
+			ws.QueueMeanUs = float64(qSumNs) / float64(ws.QueueDelays) / 1e3
+			ws.QueueMaxUs = float64(qMaxNs) / 1e3
+		}
+		snap.Windows = append(snap.Windows, ws)
+	}
+	t.mu.Unlock()
+	return snap
+}
+
+// quantileUs estimates the q-quantile in microseconds from a log2
+// nanosecond histogram, using each bucket's geometric midpoint (the
+// same convention as telemetry's ValueHistogram).
+func quantileUs(lat []uint64, total uint64, q float64) float64 {
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range lat {
+		seen += n
+		if seen >= rank {
+			lo := float64(uint64(1) << max(i-1, 0))
+			hi := float64(uint64(1) << i)
+			return math.Sqrt(lo*hi) / 1e3
+		}
+	}
+	return 0
+}
+
+// Window returns the named window's stats from s (zero stats when the
+// name is unknown) — the convenience /debug/health's burn check uses.
+func (s Snapshot) Window(name string) WindowStats {
+	for _, w := range s.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	return WindowStats{}
+}

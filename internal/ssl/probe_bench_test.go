@@ -3,6 +3,8 @@ package ssl
 import (
 	"testing"
 
+	"sslperf/internal/lifecycle"
+	"sslperf/internal/slo"
 	"sslperf/internal/telemetry"
 	"sslperf/internal/trace"
 )
@@ -11,12 +13,13 @@ import (
 // three deployment points: no sinks at all (the bus is nil and every
 // hook is a pointer test), the production 1-in-16 trace sampling, and
 // every sink adapter at once — anatomy fold + telemetry counters +
-// always-on span building riding one bus. The figures land in
-// docs/BENCH_probe.json via make bench.
-func benchHandshakeProbed(b *testing.B, reg *telemetry.Registry, tracer *trace.Tracer) {
+// always-on span building + the lifecycle conn-table entry riding one
+// bus. The figures land in docs/BENCH_probe.json via make bench.
+func benchHandshakeProbed(b *testing.B, reg *telemetry.Registry, tracer *trace.Tracer, tab *lifecycle.Table) {
 	ccfg, scfg := benchConfigs(b, nil)
 	scfg.Telemetry = reg
 	scfg.Tracer = tracer
+	scfg.Lifecycle = tab
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -35,12 +38,13 @@ func benchHandshakeProbed(b *testing.B, reg *telemetry.Registry, tracer *trace.T
 	}
 }
 
-func BenchmarkHandshakeProbeOff(b *testing.B) { benchHandshakeProbed(b, nil, nil) }
+func BenchmarkHandshakeProbeOff(b *testing.B) { benchHandshakeProbed(b, nil, nil, nil) }
 
 func BenchmarkHandshakeProbeSampled16(b *testing.B) {
-	benchHandshakeProbed(b, nil, trace.NewTracer(trace.Config{SampleEvery: 16}))
+	benchHandshakeProbed(b, nil, trace.NewTracer(trace.Config{SampleEvery: 16}), nil)
 }
 
 func BenchmarkHandshakeProbeAll(b *testing.B) {
-	benchHandshakeProbed(b, telemetry.NewRegistry(), trace.NewTracer(trace.Config{SampleEvery: 1}))
+	tab := lifecycle.NewTable(lifecycle.Options{SLO: slo.New(slo.Config{})})
+	benchHandshakeProbed(b, telemetry.NewRegistry(), trace.NewTracer(trace.Config{SampleEvery: 1}), tab)
 }

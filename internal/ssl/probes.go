@@ -23,7 +23,7 @@ func (c *Conn) armProbes(reg *telemetry.Registry) {
 		// registry always records one.
 		c.anatomy = handshake.NewAnatomy()
 	}
-	sinks := make([]probe.Sink, 0, 3+len(c.cfg.Probes))
+	sinks := make([]probe.Sink, 0, 4+len(c.cfg.Probes))
 	if c.anatomy != nil {
 		sinks = append(sinks, c.anatomy)
 	}
@@ -32,6 +32,9 @@ func (c *Conn) armProbes(reg *telemetry.Registry) {
 	}
 	if c.ct != nil {
 		sinks = append(sinks, trace.ProbeSink(c.ct, c.traceHS))
+	}
+	if c.lc != nil {
+		sinks = append(sinks, c.lc)
 	}
 	sinks = append(sinks, c.cfg.Probes...)
 	c.baseSinks = sinks

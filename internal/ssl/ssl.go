@@ -12,10 +12,12 @@ package ssl
 import (
 	"errors"
 	"io"
+	"net"
 	"sync"
 	"time"
 
 	"sslperf/internal/handshake"
+	"sslperf/internal/lifecycle"
 	"sslperf/internal/probe"
 	"sslperf/internal/record"
 	"sslperf/internal/rsa"
@@ -105,6 +107,15 @@ type Config struct {
 	// a trace.ProbeSink on the spine; it remains fully supported, but
 	// new integrations can subscribe via Probes directly.
 	Tracer *trace.Tracer
+
+	// Lifecycle, when non-nil, registers every connection using this
+	// config in the live connection table (internal/lifecycle): the
+	// entry tracks the connection from construction through the
+	// handshake's Table-2 steps to close, feeds the table's SLO
+	// windows, and emits its structured close-log line. The entry
+	// rides the connection's probe spine, so its step cursor and byte
+	// counters agree with every other surface.
+	Lifecycle *lifecycle.Table
 }
 
 func (c *Config) rand() io.Reader {
@@ -133,6 +144,8 @@ type Conn struct {
 	bus       *probe.Bus   // the connection's probe spine (nil = off)
 	baseSinks []probe.Sink // sinks armed at handshake time
 	cryptoObs func(op record.CryptoOp, bytes int, d time.Duration)
+
+	lc *lifecycle.Conn // live table entry (nil = no table)
 
 	ct           *trace.ConnTrace // non-nil only on sampled connections
 	traceHS      uint64           // the trace's top-level handshake span
@@ -169,8 +182,27 @@ func newConn(transport io.ReadWriteCloser, cfg *Config, isClient bool) *Conn {
 	} else if cfg.BulkPipelineWidth > 0 {
 		c.layer.SetSealPipeline(cfg.BulkPipelineWidth)
 	}
+	if cfg.Lifecycle != nil {
+		c.lc = cfg.Lifecycle.Register(remoteAddr(transport))
+	}
 	return c
 }
+
+// remoteAddr extracts the peer address when the transport has one
+// (net.Conn does; in-memory pipes do not).
+func remoteAddr(transport io.ReadWriteCloser) string {
+	type remote interface{ RemoteAddr() net.Addr }
+	if r, ok := transport.(remote); ok {
+		if a := r.RemoteAddr(); a != nil {
+			return a.String()
+		}
+	}
+	return ""
+}
+
+// LifecycleEntry returns the connection's live table entry, nil when
+// no Config.Lifecycle is attached.
+func (c *Conn) LifecycleEntry() *lifecycle.Conn { return c.lc }
 
 // SetAnatomy installs a recorder that will capture the server-side
 // handshake anatomy (Table 2). Must be called before Handshake.
@@ -206,10 +238,13 @@ func (c *Conn) handshakeLocked() error {
 	}
 	tel := c.cfg.Telemetry
 	var hsStart time.Time
-	if tel != nil {
-		c.telemetryStart(tel)
+	if tel != nil || c.lc != nil {
 		hsStart = time.Now()
 	}
+	if tel != nil {
+		c.telemetryStart(tel)
+	}
+	c.lc.HandshakeStart()
 	if c.ct != nil || c.cfg.Tracer != nil {
 		c.traceStart()
 	}
@@ -249,7 +284,12 @@ func (c *Conn) handshakeLocked() error {
 		c.traceFinish(err)
 	}
 	if err != nil {
+		c.lc.Failed(Classify(err), FailureReason(err), err.Error(), time.Since(hsStart))
 		return err
+	}
+	if c.lc != nil {
+		c.lc.Established(c.result.Suite.Name, c.result.Session.Version,
+			c.result.Resumed, time.Since(hsStart))
 	}
 	c.handshakeDone = true
 	return nil
@@ -372,6 +412,7 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.lc.Draining()
 	if c.handshakeDone {
 		c.layer.SendClose() // best effort
 	}
@@ -385,7 +426,10 @@ func (c *Conn) Close() error {
 		}
 		c.ct.Finish(outcome)
 	}
-	return c.transport.Close()
+	err := c.transport.Close()
+	c.lc.Close()
+	c.lc = nil
+	return err
 }
 
 // Stats returns the record-layer counters.

@@ -1,12 +1,8 @@
 package ssl
 
 import (
-	"errors"
-	"io"
-	"strings"
 	"time"
 
-	"sslperf/internal/record"
 	"sslperf/internal/telemetry"
 )
 
@@ -45,31 +41,4 @@ func (c *Conn) telemetryFinish(reg *telemetry.Registry, d time.Duration, err err
 		detail += " resumed"
 	}
 	reg.Event(c.telemetryID, telemetry.EventHandshakeDone, "", detail, d)
-}
-
-// FailureReason maps a handshake error onto a stable, low-cardinality
-// tag for the failure counter: the alert name when the peer said why,
-// a coarse category otherwise. The telemetry layer and cmd/sslserver
-// both use it so logs and counters agree.
-func FailureReason(err error) string {
-	var ae *record.AlertError
-	if errors.As(err, &ae) {
-		return record.AlertName(ae.Description)
-	}
-	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-		return "eof"
-	}
-	msg := err.Error()
-	switch {
-	case strings.Contains(msg, "certificate"):
-		return "bad_certificate"
-	case strings.Contains(msg, "version"):
-		return "version_mismatch"
-	case strings.Contains(msg, "finished"):
-		return "finished_verify_failed"
-	case strings.Contains(msg, "record:"):
-		return "record_error"
-	default:
-		return "protocol_error"
-	}
 }
