@@ -40,7 +40,8 @@ check:
 		./internal/ssl/... ./internal/record/... ./internal/macpipe/... ./internal/rsabatch/... \
 		./internal/handshake/... ./internal/accel/... ./internal/perf/... \
 		./internal/loadgen/... ./internal/baseline/... ./internal/pathlen/... \
-		./internal/lifecycle/... ./internal/slo/...
+		./internal/lifecycle/... ./internal/slo/... \
+		./internal/history/... ./internal/debughttp/... ./cmd/ssltop/...
 	$(MAKE) loadsmoke
 
 # The spine owns every clock read on the handshake and record hot
@@ -128,6 +129,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/lifecycle/ -bench BenchmarkConnTable \
 		-count 3 -name lifecycle-conn-table -out docs/BENCH_lifecycle.json \
 		-note "Conn-table hot path for the lifecycle observatory: register-close is the bare table round trip (pooled entry, lock-striped shard insert/delete), full-life adds handshake transitions with step and record events on the probe spine plus the SLO window fold, emit is one record-IO event folding into an established entry's counters. The shape gate holds every path at zero allocations per operation — attaching the observatory costs bookkeeping, not garbage."
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/history/ -bench BenchmarkHistorySample \
+		-count 3 -name history-sampler -out docs/BENCH_history.json \
+		-note "Time-series observatory tick: one SampleNow over every standard source (telemetry counters, runtime metrics via a reused sample buffer, the 10s SLO window fold, the conn-table walk, pathlen cipher/MAC totals, anatomy step shares) landing in the two-resolution rings. The shape gate holds the tick at zero allocations and under 1% of the 1s sampling interval, so /debug/history and /debug/watch can stay on in production."
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench BenchmarkBulkPath \
 		-count 3 -name bulk-path -out docs/BENCH_bulk.json \
 		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12), plus the syscall story — writes/record (1.0 contiguous seal, ~1/64 vectored) and MB/s + records/s for the -seq1m (1MiB writes, flight off) vs -vec (flight pipeline) pair. The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, 3DES a multiple of DES, writes/record at or under 1, and vectored throughput at or above the same-size sequential baseline."

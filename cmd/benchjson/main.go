@@ -19,7 +19,13 @@
 //
 // re-validates every committed report against the paper's expectation
 // shapes (and, when docs/bench_history/ has archived runs, against
-// the most recent archive) without running any benchmarks.
+// the most recent archive) without running any benchmarks, and
+//
+//	benchjson -trend docs
+//
+// renders every committed report's metrics as sparkline trend tables
+// over the docs/bench_history/ archives, so a slow drift across many
+// `make bench` refreshes is visible at a glance.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"sslperf/internal/baseline"
+	"sslperf/internal/history"
 )
 
 func main() {
@@ -49,7 +56,8 @@ func main() {
 		basePath   = flag.String("baseline", "", "compare the fresh run against this committed report; exit non-zero on regression")
 		tolPct     = flag.Float64("tolerance", 0, "relative noise tolerance in percent for -baseline/-checkdrift (0 = default)")
 		driftDir   = flag.String("checkdrift", "", "validate every BENCH_*.json under this directory against the paper shapes and history; runs no benchmarks")
-		historyDir = flag.String("history", "", "bench_history archive dir for -checkdrift (default <checkdrift dir>/bench_history)")
+		historyDir = flag.String("history", "", "bench_history archive dir for -checkdrift/-trend (default <dir>/bench_history)")
+		trendDir   = flag.String("trend", "", "render every BENCH_*.json under this directory as per-metric sparkline trend tables over its bench_history archives; runs no benchmarks")
 	)
 	flag.Parse()
 
@@ -64,6 +72,14 @@ func main() {
 			hist = *driftDir + "/" + baseline.HistoryDir
 		}
 		os.Exit(checkDrift(os.Stdout, *driftDir, hist, tol))
+	}
+
+	if *trendDir != "" {
+		hist := *historyDir
+		if hist == "" {
+			hist = *trendDir + "/" + baseline.HistoryDir
+		}
+		os.Exit(renderTrend(os.Stdout, *trendDir, hist))
 	}
 
 	if *pkg == "" {
@@ -286,6 +302,50 @@ func checkDrift(w *os.File, dir, historyDir string, tol baseline.Tolerance) int 
 		return 1
 	}
 	fmt.Fprintf(w, "\ncheckdrift: all %d report(s) within tolerance\n", len(reports))
+	return 0
+}
+
+// renderTrend prints one table per committed report: every (result,
+// metric) as a sparkline over the archived runs ending at the
+// committed value, with the first→last relative change. Reports with
+// no archives still render (a one-point trend), so the tables always
+// reflect the whole docs/ directory. Returns the process exit code.
+func renderTrend(w *os.File, dir, historyDir string) int {
+	paths, reports, err := baseline.Committed(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if len(reports) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no BENCH_*.json reports under %s\n", dir)
+		return 1
+	}
+	for i, rep := range reports {
+		_, hist, err := baseline.History(historyDir, rep.Bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(w, "%s — %s (%d archived run(s))\n", rep.Bench, paths[i], len(hist))
+		series := baseline.Trends(hist, rep)
+		resW, metW := len("result"), len("metric")
+		for _, s := range series {
+			if len(s.Result) > resW {
+				resW = len(s.Result)
+			}
+			if len(s.Metric) > metW {
+				metW = len(s.Metric)
+			}
+		}
+		fmt.Fprintf(w, "  %-*s  %-*s  %12s  %12s  %8s  %s\n",
+			resW, "result", metW, "metric", "first", "last", "Δ%", "trend")
+		for _, s := range series {
+			fmt.Fprintf(w, "  %-*s  %-*s  %12.3f  %12.3f  %+7.1f%%  %s\n",
+				resW, s.Result, metW, s.Metric, s.First(), s.Last(), s.DeltaPct(),
+				history.Sparkline(s.Values, 24))
+		}
+		fmt.Fprintln(w)
+	}
 	return 0
 }
 

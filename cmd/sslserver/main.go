@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"sslperf/internal/baseline"
+	"sslperf/internal/debughttp"
 	"sslperf/internal/handshake"
+	"sslperf/internal/history"
 	"sslperf/internal/lifecycle"
 	"sslperf/internal/pathlen"
 	"sslperf/internal/probe"
@@ -76,6 +78,8 @@ func main() {
 			"close-log 1 in N successful closes (failed closes always log)")
 		logRate = flag.Int("lograte", 10,
 			"max per-connection log lines per second, with a suppressed-count summary (0 = unlimited)")
+		historyInterval = flag.Duration("history", time.Second,
+			"time-series sampling interval for /debug/history and /debug/watch (0 = off)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,7 @@ func main() {
 		SLOBudget:      *sloBudget,
 		CloseLogW:      closeLogW,
 		CloseLogSample: *closeLogSample,
+		History:        *historyInterval,
 	})
 
 	srv := &server{
@@ -197,6 +202,7 @@ type probeFlags struct {
 	SLOBudget      float64
 	CloseLogW      io.Writer
 	CloseLogSample int
+	History        time.Duration
 }
 
 // observers is everything buildProbes wires up: the metrics registry
@@ -209,6 +215,7 @@ type observers struct {
 	pathlen   *pathlen.Collector
 	lifecycle *lifecycle.Table
 	slo       *slo.Tracker
+	history   *history.History
 }
 
 // engineSinks returns the probe sinks an engine should fan out to —
@@ -263,13 +270,32 @@ func buildProbes(f probeFlags) *observers {
 	// need -trace, the SLO burn verdict does not.
 	baseline.RegisterHealth(mux, anatomySnap, baseline.PaperExpectation(),
 		baseline.SLOBurnCheck(o.slo, "1m", 10))
+	// The history sampler ticks over every surface built above, so it
+	// wires up last. It keeps sampling whatever subset exists (no
+	// -trace means no anatomy series, etc.).
+	if f.History > 0 {
+		o.history = history.New(history.Config{Interval: f.History})
+		var profiler *trace.Profiler
+		if o.tracer != nil {
+			profiler = o.tracer.Profiler()
+		}
+		history.AddStandardSources(o.history, history.Sources{
+			Telemetry: o.reg,
+			Runtime:   true,
+			SLO:       o.slo,
+			Lifecycle: o.lifecycle,
+			Pathlen:   o.pathlen,
+			Anatomy:   profiler,
+		})
+		history.Register(mux, o.history)
+		o.history.Start()
+	}
 	// POST /debug/reset scopes every observatory at once — telemetry,
-	// anatomy profiler, path-length accumulators, conn table, and SLO
-	// windows — so "warm up, reset, measure" needs one call.
+	// anatomy profiler, path-length accumulators, conn table, SLO
+	// windows, and history rings — so "warm up, reset, measure" needs
+	// one call.
 	mux.HandleFunc("/debug/reset", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		if !debughttp.PostOnly(w, req) {
 			return
 		}
 		o.reg.Reset()
@@ -279,7 +305,8 @@ func buildProbes(f probeFlags) *observers {
 		o.pathlen.Reset()
 		o.lifecycle.Reset()
 		o.slo.Reset()
-		w.Write([]byte("reset\n"))
+		o.history.Reset()
+		debughttp.WriteText(w, "reset\n")
 	})
 	if f.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -272,3 +272,62 @@ func TestBulkShape(t *testing.T) {
 		t.Fatalf("violations = %v, want bulk-vectored for uncoalesced flush", v)
 	}
 }
+
+func TestHistorySamplerShape(t *testing.T) {
+	good := report("history-sampler", map[string]map[string]float64{
+		"HistorySample": {"ns/op": 4500, "allocs/op": 0},
+	})
+	if v, known := CheckShape(good); !known || len(v) != 0 {
+		t.Fatalf("good sampler shape rejected: %v", v)
+	}
+
+	// A sampling tick that allocates would make the observatory a
+	// steady-state garbage source — the core claim of the shape.
+	good.Results["HistorySample"].Metrics["allocs/op"] = 1
+	if v, _ := CheckShape(good); len(v) != 1 || !strings.Contains(v[0].Check, "history-allocs") {
+		t.Fatalf("allocating tick passed: %v", v)
+	}
+
+	// A tick costing more than 1% of the 1s interval.
+	slow := report("history-sampler", map[string]map[string]float64{
+		"HistorySample": {"ns/op": 50e6, "allocs/op": 0},
+	})
+	if v, _ := CheckShape(slow); len(v) != 1 || !strings.Contains(v[0].Check, "history-tick-cost") {
+		t.Fatalf("50ms tick passed: %v", v)
+	}
+
+	// Dropping the result must not silently retire the gate.
+	empty := report("history-sampler", nil)
+	if v, _ := CheckShape(empty); len(v) != 1 || !strings.Contains(v[0].Check, "history-results") {
+		t.Fatalf("empty report passed: %v", v)
+	}
+}
+
+func TestTrendsSeries(t *testing.T) {
+	hist := []*Report{
+		report("b", map[string]map[string]float64{"X": {"ns/op": 100}}),
+		report("b", map[string]map[string]float64{"X": {"ns/op": 110, "MB/s": 50}}),
+	}
+	committed := report("b", map[string]map[string]float64{
+		"X": {"ns/op": 120, "MB/s": 55},
+	})
+	series := Trends(hist, committed)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	// Sorted by result then metric: MB/s before ns/op. The MB/s series
+	// skips the first archive (metric absent there).
+	mb, ns := series[0], series[1]
+	if mb.Metric != "MB/s" || len(mb.Values) != 2 || mb.First() != 50 || mb.Last() != 55 {
+		t.Fatalf("MB/s series = %+v", mb)
+	}
+	if ns.Metric != "ns/op" || len(ns.Values) != 3 || ns.First() != 100 || ns.Last() != 120 {
+		t.Fatalf("ns/op series = %+v", ns)
+	}
+	if d := ns.DeltaPct(); math.Abs(d-20) > 0.01 {
+		t.Fatalf("ns/op delta = %v, want +20%%", d)
+	}
+	if Trends(hist, nil) != nil {
+		t.Fatal("nil committed report produced series")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"sslperf/internal/debughttp"
 	"sslperf/internal/probe"
 	"sslperf/internal/slo"
 	"sslperf/internal/trace"
@@ -300,8 +301,8 @@ func RegisterHealth(mux *http.ServeMux, snapshot func() trace.AnatomySnapshot, e
 		if rep.Status == StatusDrifting {
 			code = http.StatusServiceUnavailable
 		}
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if debughttp.WantText(req) {
+			debughttp.HeadText(w)
 			w.WriteHeader(code)
 			w.Write([]byte(rep.Text()))
 			return
@@ -311,7 +312,7 @@ func RegisterHealth(mux *http.ServeMux, snapshot func() trace.AnatomySnapshot, e
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		debughttp.HeadJSON(w)
 		w.WriteHeader(code)
 		w.Write(b)
 	})

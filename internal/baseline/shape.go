@@ -36,8 +36,48 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 		return checkBulkShape(r), true
 	case "lifecycle-conn-table":
 		return checkLifecycleShape(r), true
+	case "history-sampler":
+		return checkHistoryShape(r), true
 	}
 	return nil, false
+}
+
+// historySamplerMaxNs caps one full history tick at 1% of the default
+// 1s sampling interval: the observatory must stay invisible next to
+// the work it observes.
+const historySamplerMaxNs = 10e6
+
+// checkHistoryShape pins the time-series sampler's cost: one tick over
+// every standard source (telemetry counters, runtime metrics, SLO
+// window fold, conn-table walk, pathlen totals, anatomy shares) must
+// allocate nothing in steady state and finish in well under 1% of a
+// CPU at the 1s default resolution. Allocations mean a source's
+// accessor regressed onto a Snapshot()-style rendering path.
+func checkHistoryShape(r *Report) []Violation {
+	var out []Violation
+	var seen int
+	for _, name := range r.SortedResults() {
+		if !strings.HasPrefix(name, "HistorySample") {
+			continue
+		}
+		allocs, ok := r.Metric(name, "allocs/op")
+		if !ok {
+			continue
+		}
+		seen++
+		if allocs > 0 {
+			out = append(out, Violation{"history-allocs",
+				fmt.Sprintf("%s allocs/op %.1f, want 0 (a source accessor is allocating on the tick path)", name, allocs)})
+		}
+		if ns, ok := r.Metric(name, "ns/op"); ok && ns > historySamplerMaxNs {
+			out = append(out, Violation{"history-tick-cost",
+				fmt.Sprintf("%s ns/op %.0f, want <= %.0f (1%% of the 1s sampling interval)", name, ns, float64(historySamplerMaxNs))})
+		}
+	}
+	if seen == 0 {
+		out = append(out, Violation{"history-results", "no HistorySample results with allocs/op found"})
+	}
+	return out
 }
 
 // checkLifecycleShape pins the conn-table hot path at zero

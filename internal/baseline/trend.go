@@ -1,0 +1,71 @@
+package baseline
+
+import "sort"
+
+// A TrendSeries is one (result, metric) pair's value across a bench's
+// archived runs, oldest first, ending at the committed report — the
+// data behind `benchjson -trend`'s sparkline tables.
+type TrendSeries struct {
+	Result string
+	Metric string
+	// Values holds one point per report that carried the metric,
+	// oldest archive first, the committed report last.
+	Values []float64
+}
+
+// First and Last bound the series (zero for an empty one).
+func (s TrendSeries) First() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[0]
+}
+
+func (s TrendSeries) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// DeltaPct is the relative change from first to last in percent (0
+// when the first point is zero).
+func (s TrendSeries) DeltaPct() float64 {
+	if len(s.Values) < 2 || s.Values[0] == 0 {
+		return 0
+	}
+	return 100 * (s.Last() - s.First()) / s.First()
+}
+
+// Trends folds a bench's archived reports plus its committed report
+// into per-metric series (Trend, above, is the pairwise DriftReport
+// walk; this is the raw values for rendering). The committed report's
+// result/metric set decides what is tracked (a metric dropped from
+// the committed report is no longer a series); archives missing a
+// metric simply contribute no point. Series are ordered by result
+// name then metric name.
+func Trends(history []*Report, committed *Report) []TrendSeries {
+	if committed == nil {
+		return nil
+	}
+	var out []TrendSeries
+	for _, result := range committed.SortedResults() {
+		br := committed.Results[result]
+		metrics := make([]string, 0, len(br.Metrics))
+		for m := range br.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			s := TrendSeries{Result: result, Metric: metric}
+			for _, rep := range history {
+				if v, ok := rep.Metric(result, metric); ok {
+					s.Values = append(s.Values, v)
+				}
+			}
+			s.Values = append(s.Values, br.Metrics[metric])
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"sslperf/internal/debughttp"
 )
 
 // Text renders the snapshot as an aligned table.
@@ -94,17 +96,6 @@ func Register(mux *http.ServeMux, t *Table) {
 			opts.Limit = n
 		}
 		snap := t.Snapshot(opts)
-		if q.Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(snap.Text()))
-			return
-		}
-		b, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.Serve(w, req, snap.Text, snap.JSON)
 	})
 }

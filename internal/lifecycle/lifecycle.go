@@ -162,7 +162,16 @@ type Table struct {
 	// summary /debug/conns renders. One touch per failed connection.
 	failMu      sync.Mutex
 	failClasses map[string]uint64
+
+	// failByClass mirrors failClasses at canonical-class granularity
+	// in a fixed wait-free array (refined tags like peer_alert:<name>
+	// collapse onto their class), so the history sampler can read
+	// per-class counters without taking failMu or allocating.
+	failByClass [numFailClasses]atomic.Uint64
 }
+
+// numFailClasses covers every probe.FailClass including FailNone.
+const numFailClasses = int(probe.FailInternal) + 1
 
 // NewTable returns an empty table.
 func NewTable(opts Options) *Table {
@@ -245,7 +254,67 @@ func (t *Table) Reset() {
 	t.failMu.Lock()
 	t.failClasses = make(map[string]uint64)
 	t.failMu.Unlock()
+	for i := range t.failByClass {
+		t.failByClass[i].Store(0)
+	}
 	t.closeLog.resetCounts()
+}
+
+// Counts is the table's cheap gauge/counter readout: live entries by
+// state, the cumulative open/close/fail counters, and failures by
+// canonical class — everything the history sampler needs each second,
+// with no maps, rows, or allocations built.
+type Counts struct {
+	Live        int
+	Accepted    int
+	Handshaking int
+	Established int
+	Draining    int
+
+	Opened uint64
+	Closed uint64
+	Failed uint64
+
+	// FailByClass is indexed by probe.FailClass.
+	FailByClass [numFailClasses]uint64
+}
+
+// Counts reads the table without allocating. Live states are counted
+// under the shard locks (O(live entries), no rows materialized). A nil
+// table reads all zeros.
+func (t *Table) Counts() Counts {
+	var c Counts
+	if t == nil {
+		return c
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, conn := range sh.conns {
+			conn.mu.Lock()
+			st := conn.state
+			conn.mu.Unlock()
+			c.Live++
+			switch st {
+			case StateAccepted:
+				c.Accepted++
+			case StateHandshaking:
+				c.Handshaking++
+			case StateEstablished:
+				c.Established++
+			case StateDraining:
+				c.Draining++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.Opened = t.opened.Load()
+	c.Closed = t.closed.Load()
+	c.Failed = t.failed.Load()
+	for i := range t.failByClass {
+		c.FailByClass[i] = t.failByClass[i].Load()
+	}
+	return c
 }
 
 // HandshakeStart marks the connection handshaking.
@@ -319,6 +388,7 @@ func (c *Conn) Close() {
 	}
 	rec := c.closeRecordLocked()
 	failed := c.state == StateFailed
+	class := c.failClass
 	c.mu.Unlock()
 
 	t.closeLog.observe(rec)
@@ -328,6 +398,9 @@ func (c *Conn) Close() {
 		t.failMu.Lock()
 		t.failClasses[rec.FailTag]++
 		t.failMu.Unlock()
+		if int(class) < numFailClasses {
+			t.failByClass[class].Add(1)
+		}
 	}
 
 	sh := &t.shards[c.ID%shardCount]

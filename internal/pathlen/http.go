@@ -3,6 +3,8 @@ package pathlen
 import (
 	"net/http"
 	"time"
+
+	"sslperf/internal/debughttp"
 )
 
 // nsDur converts accumulated nanoseconds to a duration for the cycle
@@ -18,23 +20,10 @@ func nsDur(ns uint64) time.Duration { return time.Duration(ns) }
 func Register(mux *http.ServeMux, c *Collector, onReset ...func()) {
 	mux.HandleFunc("/debug/pathlength", func(w http.ResponseWriter, req *http.Request) {
 		snap := c.Snapshot()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(snap.Text()))
-			return
-		}
-		b, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.Serve(w, req, snap.Text, snap.JSON)
 	})
 	mux.HandleFunc("/debug/pathlength/reset", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		if !debughttp.PostOnly(w, req) {
 			return
 		}
 		c.Reset()

@@ -285,6 +285,45 @@ func (c *Collector) Snapshot() Snapshot {
 	return s
 }
 
+// totalsFor sums (bytes, nanos) across all ops of the given primitive
+// rows — the wait-free accessor behind the windowed cycles/byte
+// series.
+func (c *Collector) totalsFor(lo, hi int) (bytes, ns uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	for p := lo; p <= hi; p++ {
+		for o := 0; o < numOps; o++ {
+			cell := &c.prims[p][o]
+			bytes += cell.bytes.Load()
+			ns += cell.ns.Load()
+		}
+	}
+	return bytes, ns
+}
+
+// CipherTotals returns cumulative (bytes, nanos) across the cipher
+// primitives (RC4, AES, DES, 3DES, NULL) without allocating, so a
+// periodic sampler can difference successive reads into a live
+// windowed cipher cycles/byte.
+func (c *Collector) CipherTotals() (bytes, ns uint64) {
+	return c.totalsFor(primRC4, primNULL)
+}
+
+// MACTotals is CipherTotals for the MAC primitives (MD5, SHA-1).
+func (c *Collector) MACTotals() (bytes, ns uint64) {
+	return c.totalsFor(primMD5, primSHA1)
+}
+
+// IOTotals returns the record-layer cumulative counters without
+// allocating.
+func (c *Collector) IOTotals() (recordsIn, recordsOut, bytesIn, bytesOut uint64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	return c.recordsIn.Load(), c.recordsOut.Load(), c.bytesIn.Load(), c.bytesOut.Load()
+}
+
 // Prim returns the named primitive's row, if it saw traffic.
 func (s Snapshot) Prim(name string) (PrimRow, bool) {
 	for _, r := range s.Prims {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"sslperf/internal/debughttp"
 )
 
 // Text renders the snapshot as an aligned table.
@@ -34,17 +36,6 @@ func (s Snapshot) JSON() ([]byte, error) {
 func Register(mux *http.ServeMux, t *Tracker) {
 	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, req *http.Request) {
 		snap := t.Snapshot()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(snap.Text()))
-			return
-		}
-		b, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.Serve(w, req, snap.Text, snap.JSON)
 	})
 }

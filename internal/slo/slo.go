@@ -246,45 +246,72 @@ func (t *Tracker) Snapshot() Snapshot {
 	}
 	t.mu.Lock()
 	for _, w := range windows {
-		ws := WindowStats{Window: w.name, Seconds: w.secs}
-		var sumNs, qSumNs, qMaxNs uint64
-		for i := range t.buckets {
-			b := &t.buckets[i]
-			// The current second is included; stale slots (sec outside
-			// the window) are skipped rather than reset, so Snapshot
-			// never disturbs writer state.
-			if b.sec > nowSec-w.secs && b.sec <= nowSec {
-				ws.Handshakes += b.total
-				ws.Failed += b.failed
-				ws.Slow += b.slow
-				sumNs += b.sumNs
-				for j, n := range b.lat {
-					ws.windowLatTotals[j] += uint64(n)
-				}
-				ws.QueueDelays += b.queueDelays
-				qSumNs += b.queueSumNs
-				if b.queueMaxNs > qMaxNs {
-					qMaxNs = b.queueMaxNs
-				}
-			}
-		}
-		if ws.Handshakes > 0 {
-			ws.ErrorRate = float64(ws.Failed) / float64(ws.Handshakes)
-			ws.BadRate = float64(ws.Failed+ws.Slow) / float64(ws.Handshakes)
-			ws.BurnRate = ws.BadRate / t.budget
-			ws.MeanUs = float64(sumNs) / float64(ws.Handshakes) / 1e3
-			ws.P50Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.50)
-			ws.P99Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.99)
-			ws.HandshakeRate = float64(ws.Handshakes) / float64(w.secs)
-		}
-		if ws.QueueDelays > 0 {
-			ws.QueueMeanUs = float64(qSumNs) / float64(ws.QueueDelays) / 1e3
-			ws.QueueMaxUs = float64(qMaxNs) / 1e3
-		}
-		snap.Windows = append(snap.Windows, ws)
+		snap.Windows = append(snap.Windows, t.statsLocked(nowSec, w.name, w.secs))
 	}
 	t.mu.Unlock()
 	return snap
+}
+
+// statsLocked aggregates one window from the ring. Callers hold t.mu.
+func (t *Tracker) statsLocked(nowSec int64, name string, secs int64) WindowStats {
+	ws := WindowStats{Window: name, Seconds: secs}
+	var sumNs, qSumNs, qMaxNs uint64
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		// The current second is included; stale slots (sec outside
+		// the window) are skipped rather than reset, so Snapshot
+		// never disturbs writer state.
+		if b.sec > nowSec-secs && b.sec <= nowSec {
+			ws.Handshakes += b.total
+			ws.Failed += b.failed
+			ws.Slow += b.slow
+			sumNs += b.sumNs
+			for j, n := range b.lat {
+				ws.windowLatTotals[j] += uint64(n)
+			}
+			ws.QueueDelays += b.queueDelays
+			qSumNs += b.queueSumNs
+			if b.queueMaxNs > qMaxNs {
+				qMaxNs = b.queueMaxNs
+			}
+		}
+	}
+	if ws.Handshakes > 0 {
+		ws.ErrorRate = float64(ws.Failed) / float64(ws.Handshakes)
+		ws.BadRate = float64(ws.Failed+ws.Slow) / float64(ws.Handshakes)
+		ws.BurnRate = ws.BadRate / t.budget
+		ws.MeanUs = float64(sumNs) / float64(ws.Handshakes) / 1e3
+		ws.P50Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.50)
+		ws.P99Us = quantileUs(ws.windowLatTotals[:], ws.Handshakes, 0.99)
+		ws.HandshakeRate = float64(ws.Handshakes) / float64(secs)
+	}
+	if ws.QueueDelays > 0 {
+		ws.QueueMeanUs = float64(qSumNs) / float64(ws.QueueDelays) / 1e3
+		ws.QueueMaxUs = float64(qMaxNs) / 1e3
+	}
+	return ws
+}
+
+// Stats aggregates the trailing seconds-long window without
+// allocating — the accessor the history sampler reads each tick where
+// Snapshot would build the full three-window slice. The Window name
+// field is left empty (naming it would allocate). A nil tracker reads
+// zero stats.
+func (t *Tracker) Stats(seconds int64) WindowStats {
+	if t == nil {
+		return WindowStats{}
+	}
+	if seconds <= 0 {
+		seconds = windows[0].secs
+	}
+	if seconds > bucketCount {
+		seconds = bucketCount
+	}
+	nowSec := t.now().Unix()
+	t.mu.Lock()
+	ws := t.statsLocked(nowSec, "", seconds)
+	t.mu.Unlock()
+	return ws
 }
 
 // quantileUs estimates the q-quantile in microseconds from a log2

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+
+	"sslperf/internal/debughttp"
 )
 
 // Register mounts the telemetry endpoints on mux:
@@ -14,18 +16,7 @@ import (
 func Register(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(snap.Text()))
-			return
-		}
-		b, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.Serve(w, req, snap.Text, snap.JSON)
 	})
 	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
 		fr := r.Recorder()
@@ -53,10 +44,12 @@ func Register(mux *http.ServeMux, r *Registry) {
 		if events == nil {
 			events = []Event{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(events)
+		b, err := json.MarshalIndent(events, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		debughttp.WriteJSON(w, b)
 	})
 }
 

@@ -34,13 +34,32 @@ type RuntimeSnapshot struct {
 // ReadRuntime samples the runtime/metrics the snapshot reports.
 // Metrics a toolchain does not export read as zero.
 func ReadRuntime() RuntimeSnapshot {
-	samples := []metrics.Sample{
+	return NewRuntimeSampler().Read()
+}
+
+// A RuntimeSampler reads the runtime metrics through a reusable
+// sample buffer: runtime/metrics reuses histogram memory across Read
+// calls on the same samples, so a periodic sampler (the history
+// layer's 1s tick) stays allocation-free after the first read. Not
+// safe for concurrent use; give each sampling goroutine its own.
+type RuntimeSampler struct {
+	samples []metrics.Sample
+}
+
+// NewRuntimeSampler returns a sampler with its buffer prepared.
+func NewRuntimeSampler() *RuntimeSampler {
+	return &RuntimeSampler{samples: []metrics.Sample{
 		{Name: metricGoroutines},
 		{Name: metricHeapObjects},
 		{Name: metricGCPauses},
 		{Name: metricGCPausesOld},
 		{Name: metricSchedLat},
-	}
+	}}
+}
+
+// Read samples the runtime, reusing the buffer from prior reads.
+func (s *RuntimeSampler) Read() RuntimeSnapshot {
+	samples := s.samples
 	metrics.Read(samples)
 
 	var rs RuntimeSnapshot

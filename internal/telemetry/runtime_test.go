@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestReadRuntimeBasics(t *testing.T) {
+	runtime.GC() // make sure at least one pause exists
+	rs := ReadRuntime()
+	if rs.Goroutines == 0 {
+		t.Fatal("zero goroutines in a running test")
+	}
+	if rs.HeapInuseBytes == 0 {
+		t.Fatal("zero heap bytes in a running test")
+	}
+	for _, d := range []struct {
+		name string
+		v    int64
+	}{
+		{"gc_p50", int64(rs.GCPauseP50)},
+		{"gc_p99", int64(rs.GCPauseP99)},
+		{"sched_p50", int64(rs.SchedLatP50)},
+		{"sched_p99", int64(rs.SchedLatP99)},
+		{"sched_max", int64(rs.SchedLatMax)},
+	} {
+		if d.v < 0 {
+			t.Fatalf("%s negative: %d", d.name, d.v)
+		}
+	}
+	if rs.GCPauseP99 < rs.GCPauseP50 {
+		t.Fatalf("gc p99 %v < p50 %v", rs.GCPauseP99, rs.GCPauseP50)
+	}
+	if rs.SchedLatP99 < rs.SchedLatP50 {
+		t.Fatalf("sched p99 %v < p50 %v", rs.SchedLatP99, rs.SchedLatP50)
+	}
+	if rs.SchedLatMax < rs.SchedLatP99 {
+		t.Fatalf("sched max %v < p99 %v", rs.SchedLatMax, rs.SchedLatP99)
+	}
+}
+
+// TestRuntimeSamplerSteadyStateAllocs pins the property the history
+// sampler relies on: after the first Read warms the histogram buffers,
+// repeated reads through the same sampler do not allocate.
+func TestRuntimeSamplerSteadyStateAllocs(t *testing.T) {
+	s := NewRuntimeSampler()
+	s.Read() // warm-up allocates the Float64Histogram buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Read()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Read allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRuntimeSamplerReuseAgrees(t *testing.T) {
+	s := NewRuntimeSampler()
+	first := s.Read()
+	second := s.Read()
+	// Monotone-ish sanity: a reused buffer must keep reporting live
+	// values, not stale or zeroed ones.
+	if second.Goroutines == 0 || second.HeapInuseBytes == 0 {
+		t.Fatalf("reused sampler read zeros: %+v", second)
+	}
+	// GC pause quantiles never decrease (cumulative histogram).
+	if second.GCPauseP99 < first.GCPauseP99 {
+		t.Fatalf("gc p99 went backwards: %v -> %v", first.GCPauseP99, second.GCPauseP99)
+	}
+}
+
+func TestHistQuantileEdgeCases(t *testing.T) {
+	empty := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if q := histQuantile(empty, 0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	if m := histMax(empty); m != 0 {
+		t.Fatalf("empty max = %v", m)
+	}
+
+	// All mass in the +Inf-edged tail bucket: quantile must walk
+	// inward to a finite edge.
+	tail := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 5},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if q := histQuantile(tail, 0.99); q != 1 {
+		t.Fatalf("tail quantile = %v, want 1", q)
+	}
+	if m := histMax(tail); m != 1 {
+		t.Fatalf("tail max = %v, want 1", m)
+	}
+
+	one := &metrics.Float64Histogram{
+		Counts:  []uint64{3, 0},
+		Buckets: []float64{0, 0.5, 1},
+	}
+	if q := histQuantile(one, 0.5); q != 0.5 {
+		t.Fatalf("quantile = %v, want 0.5", q)
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if d := secondsToDuration(math.Inf(1)); d != 0 {
+		t.Fatalf("inf -> %v", d)
+	}
+	if d := secondsToDuration(math.NaN()); d != 0 {
+		t.Fatalf("nan -> %v", d)
+	}
+	if d := secondsToDuration(-1); d != 0 {
+		t.Fatalf("neg -> %v", d)
+	}
+	if d := secondsToDuration(0.001); d.Milliseconds() != 1 {
+		t.Fatalf("1ms -> %v", d)
+	}
+}

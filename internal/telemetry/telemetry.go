@@ -266,6 +266,43 @@ func (r *Registry) RecordIO(written bool, isAlert bool, payloadBytes int) {
 	}
 }
 
+// Counts is the registry's raw cumulative counters — the cheap,
+// allocation-free read the history sampler takes every second, where
+// Snapshot would build maps and slices per call. Each value is one
+// atomic load.
+type Counts struct {
+	Connections       uint64
+	HandshakesFull    uint64
+	HandshakesResumed uint64
+	HandshakesFailed  uint64
+	RecordsIn         uint64
+	RecordsOut        uint64
+	BytesIn           uint64
+	BytesOut          uint64
+	AlertsIn          uint64
+	AlertsOut         uint64
+}
+
+// Counts reads the cumulative counters without allocating. A nil
+// registry reads all zeros.
+func (r *Registry) Counts() Counts {
+	if r == nil {
+		return Counts{}
+	}
+	return Counts{
+		Connections:       r.connSeq.Load(),
+		HandshakesFull:    r.handshakesFull.Load(),
+		HandshakesResumed: r.handshakesResumed.Load(),
+		HandshakesFailed:  r.handshakesFailed.Load(),
+		RecordsIn:         r.recordsIn.Load(),
+		RecordsOut:        r.recordsOut.Load(),
+		BytesIn:           r.bytesIn.Load(),
+		BytesOut:          r.bytesOut.Load(),
+		AlertsIn:          r.alertsIn.Load(),
+		AlertsOut:         r.alertsOut.Load(),
+	}
+}
+
 // HandshakeCounts is the handshake section of a snapshot.
 type HandshakeCounts struct {
 	Full        uint64            `json:"full"`

@@ -3,6 +3,8 @@ package trace
 import (
 	"encoding/json"
 	"net/http"
+
+	"sslperf/internal/debughttp"
 )
 
 // Register mounts the tracing endpoints on mux:
@@ -30,15 +32,19 @@ func Register(mux *http.ServeMux, t *Tracer) {
 // live anatomy and the metric counters to the window that follows.
 func RegisterWithReset(mux *http.ServeMux, t *Tracer, onReset func()) {
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		// Both renderings are JSON; ?format=raw selects the span
+		// structures over the Chrome trace events.
 		if req.URL.Query().Get("format") == "raw" {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", " ")
-			enc.Encode(struct {
+			b, err := json.MarshalIndent(struct {
 				Stats  Stats        `json:"stats"`
 				Traces []*TraceData `json:"traces"`
 				Engine []*Span      `json:"engine_spans"`
-			}{t.Stats(), t.Traces(), t.EngineSpans()})
+			}{t.Stats(), t.Traces(), t.EngineSpans()}, "", " ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			debughttp.WriteJSON(w, b)
 			return
 		}
 		b, err := t.Chrome()
@@ -46,36 +52,21 @@ func RegisterWithReset(mux *http.ServeMux, t *Tracer, onReset func()) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.WriteJSON(w, b)
 	})
 	mux.HandleFunc("/debug/anatomy", func(w http.ResponseWriter, req *http.Request) {
 		snap := t.Profiler().Snapshot()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Write([]byte(snap.Text()))
-			return
-		}
-		b, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
+		debughttp.Serve(w, req, snap.Text, snap.JSON)
 	})
 	mux.HandleFunc("/debug/anatomy/reset", func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		if !debughttp.PostOnly(w, req) {
 			return
 		}
 		t.Profiler().Reset()
 		if onReset != nil {
 			onReset()
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("reset\n"))
+		debughttp.WriteText(w, "reset\n")
 	})
 }
 

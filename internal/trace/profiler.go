@@ -172,6 +172,36 @@ func (p *Profiler) fold(td *TraceData) {
 	}
 }
 
+// SharesInto fills shares[i] with the percentage of total step time
+// currently attributed to step names[i] (0 for unseen steps), and
+// returns total crypto time as a percentage of step time — the same
+// numbers an AnatomySnapshot renders, read under one lock with no
+// allocation, for the history sampler's 1s tick. shares must be at
+// least as long as names. A nil profiler reads all zeros.
+func (p *Profiler) SharesInto(names []string, shares []float64) (cryptoSharePct float64) {
+	for i := range names {
+		shares[i] = 0
+	}
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stepTotal <= 0 {
+		return 0
+	}
+	for i, name := range names {
+		if st := p.steps[name]; st != nil {
+			shares[i] = 100 * float64(st.hist.sum) / float64(p.stepTotal)
+		}
+	}
+	var cryptoTotal time.Duration
+	for _, cs := range p.fns {
+		cryptoTotal += cs.total
+	}
+	return 100 * float64(cryptoTotal) / float64(p.stepTotal)
+}
+
 // AnatomyStep is one live Table 2 row.
 type AnatomyStep struct {
 	Name     string  `json:"name"`
