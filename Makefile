@@ -4,7 +4,7 @@
 GO ?= go
 HISTDIR ?= bench_history
 
-.PHONY: all build vet test race check clocklint pathlenlint failclasslint loadsmoke checkdrift bench repro results examples clean
+.PHONY: all build vet test race check clocklint blocklint pathlenlint failclasslint loadsmoke checkdrift bench repro results examples clean
 
 all: build vet test
 
@@ -34,6 +34,7 @@ race:
 check:
 	$(GO) vet ./...
 	$(MAKE) clocklint
+	$(MAKE) blocklint
 	$(MAKE) pathlenlint
 	$(MAKE) failclasslint
 	$(GO) test -race ./internal/probe/... ./internal/telemetry/... ./internal/trace/... \
@@ -53,6 +54,22 @@ clocklint:
 		| grep -v _test.go | grep -v 'lint:allow-clock'; exit 0); \
 	if [ -n "$$bad" ]; then \
 		echo "clocklint: direct clock reads on the probe-spine hot path (mark intentional ones with // lint:allow-clock):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+# The handshake FSMs and the record Core are sans-IO: every byte they
+# consume arrives through Core.Feed, and a short read surfaces as
+# ErrWouldBlock — never as a blocking transport read. A direct
+# io.ReadFull or .Read( call in those files would park the event loop
+# on one connection's socket. The rare legitimate read (the config's
+# randomness source) carries a "lint:allow-read" marker. The blocking
+# Layer adapter (record/record.go) is the one place transport reads
+# belong, so it is exempt.
+blocklint:
+	@bad=$$(grep -n 'io\.ReadFull\|\.Read(' internal/handshake/*.go internal/record/core.go \
+		| grep -v _test.go | grep -v 'lint:allow-read'; exit 0); \
+	if [ -n "$$bad" ]; then \
+		echo "blocklint: blocking reads inside the sans-IO core (mark intentional non-transport ones with // lint:allow-read):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -132,7 +149,9 @@ bench:
 	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/history/ -bench BenchmarkHistorySample \
 		-count 3 -name history-sampler -out docs/BENCH_history.json \
 		-note "Time-series observatory tick: one SampleNow over every standard source (telemetry counters, runtime metrics via a reused sample buffer, the 10s SLO window fold, the conn-table walk, pathlen cipher/MAC totals, anatomy step shares) landing in the two-resolution rings. The shape gate holds the tick at zero allocations and under 1% of the 1s sampling interval, so /debug/history and /debug/watch can stay on in production."
-	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench BenchmarkBulkPath \
+	$(GO) run ./cmd/benchjson -quiet -pkg ./internal/ssl/ -bench 'Benchmark(NonBlock|GoroutinePerConn|IdleConns)' \
+		-count 3 -name nonblock -out docs/BENCH_nonblock.json \
+		-note "Sans-IO core economics: NonBlockHandshake steps the resumable FSM pair entirely in memory vs GoroutinePerConnHandshake's blocking wrappers over the pipe (same crypto, so the two must stay within 1.5x), IdleConns holds b.N established idle server conns and attributes the settled heap+stack bytes per connection — the event-loop flavor keeps only the NonBlockingConn core, the goroutine flavor also parks the per-conn serve goroutine in Read — and NonBlockReadSteady is the zero-allocation steady-state seal/feed/read round trip. The shape gate pins eventloop bytes/conn strictly below goroutine bytes/conn and the read path at 0 allocs/op."
 		-count 3 -name bulk-path -out docs/BENCH_bulk.json \
 		-note "Bulk-path cycles/byte per suite from the pathlen collector riding the server's probe spine: 16KB records written through the full record layer, cipher and MAC cost attributed per primitive (the live Tables 11/12), plus the syscall story — writes/record (1.0 contiguous seal, ~1/64 vectored) and MB/s + records/s for the -seq1m (1MiB writes, flight off) vs -vec (flight pipeline) pair. The shape gate holds RC4 cheaper than AES, MD5 cheaper than SHA-1, 3DES a multiple of DES, writes/record at or under 1, and vectored throughput at or above the same-size sequential baseline."
 

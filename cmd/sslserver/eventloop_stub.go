@@ -1,0 +1,11 @@
+//go:build !linux
+
+package main
+
+import "errors"
+
+// runEventLoop needs epoll; non-Linux builds keep the goroutine-per-
+// connection server only.
+func runEventLoop(addr string, srv *server, payload []byte) error {
+	return errors.New("-eventloop is only supported on linux")
+}

@@ -80,6 +80,8 @@ func main() {
 			"max per-connection log lines per second, with a suppressed-count summary (0 = unlimited)")
 		historyInterval = flag.Duration("history", time.Second,
 			"time-series sampling interval for /debug/history and /debug/watch (0 = off)")
+		eventLoop = flag.Bool("eventloop", false,
+			"serve with a single-threaded epoll event loop over non-blocking conns instead of one goroutine per connection (linux only)")
 	)
 	flag.Parse()
 
@@ -176,12 +178,16 @@ func main() {
 		srv.certs = append(srv.certs, id.CertDER)
 	}
 
+	payload := workload.Payload(*fileSize)
+	if *eventLoop {
+		log.Printf("event loop listening on %s (%d-byte responses)", *addr, *fileSize)
+		log.Fatal(runEventLoop(*addr, srv, payload))
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (%d-byte responses)", *addr, *fileSize)
-	payload := workload.Payload(*fileSize)
 	for {
 		tc, err := ln.Accept()
 		if err != nil {

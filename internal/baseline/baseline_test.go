@@ -331,3 +331,41 @@ func TestTrendsSeries(t *testing.T) {
 		t.Fatal("nil committed report produced series")
 	}
 }
+
+func TestNonblockShape(t *testing.T) {
+	rows := func(elBytes, grBytes, readAllocs, nbNs float64) map[string]map[string]float64 {
+		return map[string]map[string]float64{
+			"NonBlockHandshake":         {"ns/op": nbNs},
+			"GoroutinePerConnHandshake": {"ns/op": 700000},
+			"IdleConns/eventloop":       {"bytes/conn": elBytes},
+			"IdleConns/goroutine":       {"bytes/conn": grBytes},
+			"NonBlockReadSteady":        {"allocs/op": readAllocs, "ns/op": 15000},
+		}
+	}
+	good := report("nonblock", rows(4300, 11200, 0, 720000))
+	if v, known := CheckShape(good); !known || len(v) != 0 {
+		t.Fatalf("good nonblock shape rejected: known=%v %v", known, v)
+	}
+
+	// Idle economics inverted: the event-loop conn costs more memory.
+	if v, _ := CheckShape(report("nonblock", rows(12000, 11200, 0, 720000))); len(v) == 0 {
+		t.Fatal("inverted idle bytes/conn passed")
+	}
+	// Steady-state read path started allocating.
+	if v, _ := CheckShape(report("nonblock", rows(4300, 11200, 2, 720000))); len(v) == 0 {
+		t.Fatal("allocating read path passed")
+	}
+	// Stepped handshake far slower than the blocking wrapper.
+	if v, _ := CheckShape(report("nonblock", rows(4300, 11200, 0, 2000000))); len(v) == 0 {
+		t.Fatal("2.8x slower stepped handshake passed")
+	}
+	// Dropping the idle measurements must not retire the gate.
+	partial := report("nonblock", map[string]map[string]float64{
+		"NonBlockHandshake":         {"ns/op": 720000},
+		"GoroutinePerConnHandshake": {"ns/op": 700000},
+		"NonBlockReadSteady":        {"allocs/op": 0},
+	})
+	if v, _ := CheckShape(partial); len(v) == 0 {
+		t.Fatal("missing IdleConns results passed")
+	}
+}

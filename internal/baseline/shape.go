@@ -38,8 +38,58 @@ func CheckShape(r *Report) (violations []Violation, known bool) {
 		return checkLifecycleShape(r), true
 	case "history-sampler":
 		return checkHistoryShape(r), true
+	case "nonblock":
+		return checkNonblockShape(r), true
 	}
 	return nil, false
+}
+
+// checkNonblockShape pins the sans-IO core's two claims. First, the
+// economics: an idle event-loop connection (a NonBlockingConn and its
+// buffers) must pin strictly less memory than an idle goroutine-per-
+// conn connection (blocking Conn plus the goroutine parked in Read) —
+// that gap is the whole point of the refactor. Second, the costs that
+// must not appear: the steady-state non-blocking read path stays at
+// zero allocations per round trip, and driving the handshake FSM by
+// explicit steps must not be materially slower than the blocking
+// wrapper driving the very same FSM (the shuttle replaces goroutine
+// hand-offs, not crypto, so 1.5x is already generous).
+func checkNonblockShape(r *Report) []Violation {
+	var out []Violation
+	el, okEL := r.Metric("IdleConns/eventloop", "bytes/conn")
+	gr, okGR := r.Metric("IdleConns/goroutine", "bytes/conn")
+	switch {
+	case !okEL:
+		out = append(out, Violation{"nonblock-idle", "IdleConns/eventloop bytes/conn missing"})
+	case !okGR:
+		out = append(out, Violation{"nonblock-idle", "IdleConns/goroutine bytes/conn missing"})
+	case el <= 0 || gr <= 0:
+		out = append(out, Violation{"nonblock-idle",
+			fmt.Sprintf("non-positive bytes/conn (eventloop %.0f, goroutine %.0f) — GC settled mid-measure?", el, gr)})
+	case el >= gr:
+		out = append(out, Violation{"nonblock-idle",
+			fmt.Sprintf("idle event-loop conn %.0f bytes/conn not below goroutine conn %.0f (the sans-IO core lost its memory advantage)", el, gr)})
+	}
+
+	if allocs, ok := r.Metric("NonBlockReadSteady", "allocs/op"); !ok {
+		out = append(out, Violation{"nonblock-read-allocs", "NonBlockReadSteady allocs/op missing"})
+	} else if allocs > 0 {
+		out = append(out, Violation{"nonblock-read-allocs",
+			fmt.Sprintf("steady-state read path allocs/op %.1f, want 0 (core buffer reuse regressed)", allocs)})
+	}
+
+	nb, okNB := r.Metric("NonBlockHandshake", "ns/op")
+	bl, okBL := r.Metric("GoroutinePerConnHandshake", "ns/op")
+	switch {
+	case !okNB || nb <= 0:
+		out = append(out, Violation{"nonblock-handshake", "NonBlockHandshake has no ns/op metric"})
+	case !okBL || bl <= 0:
+		out = append(out, Violation{"nonblock-handshake", "GoroutinePerConnHandshake has no ns/op metric"})
+	case nb > 1.5*bl:
+		out = append(out, Violation{"nonblock-handshake",
+			fmt.Sprintf("stepped FSM handshake ns/op %.0f is %.2fx the blocking path's %.0f, want <= 1.5x", nb, nb/bl, bl)})
+	}
+	return out
 }
 
 // historySamplerMaxNs caps one full history tick at 1% of the default

@@ -67,25 +67,76 @@ func (c *ClientConfig) offered() []suite.ID {
 	return out
 }
 
+// cliPhase enumerates the client FSM's resumable states; the same
+// one-suspension-point discipline as srvPhase applies (the only read
+// is at a phase's head, so re-entry after WouldBlock repeats no
+// work).
+type cliPhase int
+
+const (
+	cliSendHello cliPhase = iota
+	cliServerHello
+	cliCertificate
+	cliPostCert
+	cliServerDone
+	cliSendKX
+	cliResumedKeys
+	cliServerCCS
+	cliServerFinished
+	cliSendFinal
+	cliDone
+)
+
 // Client runs the client side of the SSLv3 handshake over l, leaving
-// l armed with the negotiated bulk cipher in both directions.
+// l armed with the negotiated bulk cipher in both directions. It is
+// the blocking wrapper over ClientFSM: the layer's reads park in the
+// transport, so one Step call runs the machine to completion.
 func Client(l *record.Layer, cfg *ClientConfig) (*Result, error) {
+	fsm, err := NewClientFSM(l, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsm.Step(); err != nil {
+		return nil, err
+	}
+	return fsm.Result(), nil
+}
+
+// ClientFSM is the resumable client handshake; see ServerFSM for the
+// Step contract (ErrWouldBlock / nil / sticky terminal error with a
+// queued fatal alert).
+type ClientFSM struct {
+	c *clientState
+}
+
+// NewClientFSM validates the configuration, returning a machine
+// parked before the ClientHello.
+func NewClientFSM(conn RecordConn, cfg *ClientConfig) (*ClientFSM, error) {
 	if cfg.Rand == nil {
 		return nil, errors.New("handshake: client needs a randomness source")
 	}
-	c := &clientState{layer: l, cfg: cfg, msgs: newMsgReader(l)}
-	res, err := c.run()
-	if err != nil {
-		l.SendAlert(record.AlertLevelFatal, record.AlertHandshakeFailure)
-		return nil, err
-	}
-	return res, nil
+	c := &clientState{conn: conn, cfg: cfg, msgs: newMsgReader(conn)}
+	return &ClientFSM{c: c}, nil
 }
 
+// Step advances the machine; see ServerFSM.Step.
+func (f *ClientFSM) Step() error { return f.c.step() }
+
+// Done reports whether the handshake completed successfully.
+func (f *ClientFSM) Done() bool { return f.c.phase == cliDone && f.c.err == nil }
+
+// Result returns the completed handshake's outcome, or nil before
+// Done.
+func (f *ClientFSM) Result() *Result { return f.c.res }
+
 type clientState struct {
-	layer *record.Layer
-	cfg   *ClientConfig
-	msgs  *msgReader
+	conn RecordConn
+	cfg  *ClientConfig
+	msgs *msgReader
+
+	phase cliPhase
+	err   error // sticky terminal error
+	res   *Result
 
 	fin          *sslcrypto.FinishedHash
 	version      uint16
@@ -95,75 +146,154 @@ type clientState struct {
 	master       []byte
 	keys         connKeys
 	resumed      bool
+
+	// cert is the parsed server leaf; ske the DHE parameters — both
+	// carried across phases (the key exchange needs them after the
+	// reads that produced them).
+	cert *x509lite.Certificate
+	ske  *serverKeyExchangeMsg
+
+	// expected is the precomputed server finished verify data (the
+	// same resume-without-repeating-crypto split as the server's).
+	expected []byte
 }
 
-func (c *clientState) run() (*Result, error) {
-	c.fin = sslcrypto.NewFinishedHash()
-
-	// ClientHello offers the configured version; the record layer
-	// stays flexible until the ServerHello pins the negotiated one.
-	offered := c.cfg.version()
-	hello := clientHelloMsg{
-		version:      offered,
-		cipherSuites: c.cfg.offered(),
-		compressions: []byte{0},
+// step is the FSM driver. The client has no probe bus (only the
+// server side is the paper's measured party), so the driver is the
+// bare phase loop.
+func (c *clientState) step() error {
+	if c.err != nil {
+		return c.err
 	}
-	if err := fillRandom(c.cfg.Rand, c.clientRandom[:], c.cfg.now()); err != nil {
-		return nil, err
+	if c.phase == cliDone {
+		return nil
 	}
-	hello.random = c.clientRandom
-	if c.cfg.Session != nil {
-		hello.sessionID = c.cfg.Session.ID
-	}
-	rawHello := hello.marshal()
-	c.fin.Write(rawHello)
-	if err := c.layer.WriteRecord(record.TypeHandshake, rawHello); err != nil {
-		return nil, err
-	}
-
-	// ServerHello.
-	msgType, raw, err := c.msgs.next()
-	if err != nil {
-		return nil, err
-	}
-	if msgType != typeServerHello {
-		return nil, fmt.Errorf("handshake: expected ServerHello, got type %d", msgType)
-	}
-	if err := c.serverHello.unmarshal(raw[4:]); err != nil {
-		return nil, err
-	}
-	c.fin.Write(raw)
-	if c.serverHello.version < record.VersionSSL30 || c.serverHello.version > offered {
-		return nil, fmt.Errorf("handshake: server version %#04x", c.serverHello.version)
-	}
-	c.version = c.serverHello.version
-	c.layer.SetProtocolVersion(c.version)
-	c.suite, err = suite.ByID(c.serverHello.cipherSuite)
-	if err != nil {
-		return nil, err
-	}
-
-	// Resumption: the server echoes our offered session id.
-	if c.cfg.Session != nil && len(c.cfg.Session.ID) > 0 &&
-		bytes.Equal(c.serverHello.sessionID, c.cfg.Session.ID) {
-		c.resumed = true
-		c.master = append([]byte(nil), c.cfg.Session.Master...)
-		if c.suite.ID != c.cfg.Session.Suite {
-			return nil, errors.New("handshake: resumed session changed cipher suite")
+	for {
+		err := c.runPhase()
+		if err == ErrWouldBlock {
+			return err
 		}
-		if c.cfg.Session.Version != 0 && c.cfg.Session.Version != c.version {
-			return nil, errors.New("handshake: resumed session changed protocol version")
+		if err != nil {
+			c.err = err
+			// Best effort: tell the peer before failing.
+			c.conn.SendAlert(record.AlertLevelFatal, record.AlertHandshakeFailure)
+			return err
 		}
-		if err := c.finishResumed(); err != nil {
-			return nil, err
-		}
-	} else {
-		if err := c.finishFull(); err != nil {
-			return nil, err
+		if c.phase == cliDone {
+			return nil
 		}
 	}
+}
 
-	return &Result{
+// runPhase executes the current phase's slice of work, advancing
+// c.phase on success.
+func (c *clientState) runPhase() error {
+	switch c.phase {
+	case cliSendHello:
+		if err := c.sendHello(); err != nil {
+			return err
+		}
+		c.phase = cliServerHello
+
+	case cliServerHello:
+		if err := c.readServerHello(); err != nil {
+			return err
+		}
+		if c.resumed {
+			c.phase = cliResumedKeys
+		} else {
+			c.phase = cliCertificate
+		}
+
+	case cliCertificate:
+		if err := c.readCertificate(); err != nil {
+			return err
+		}
+		c.phase = cliPostCert
+
+	case cliPostCert:
+		// For DHE suites the server sends its signed ephemeral
+		// parameters before ServerHelloDone; for RSA suites the next
+		// message is ServerHelloDone itself.
+		msgType, raw, err := c.msgs.next()
+		if err != nil {
+			return err
+		}
+		if c.suite.Kx == suite.KxDHERSA {
+			if err := c.readServerKeyExchange(msgType, raw); err != nil {
+				return err
+			}
+			c.phase = cliServerDone
+		} else {
+			if err := c.readServerDone(msgType, raw); err != nil {
+				return err
+			}
+			c.phase = cliSendKX
+		}
+
+	case cliServerDone:
+		msgType, raw, err := c.msgs.next()
+		if err != nil {
+			return err
+		}
+		if err := c.readServerDone(msgType, raw); err != nil {
+			return err
+		}
+		c.phase = cliSendKX
+
+	case cliSendKX:
+		// ClientKeyExchange, then CCS + client Finished under the new
+		// keys — all writes, no suspension point.
+		if err := c.sendKeyExchange(); err != nil {
+			return err
+		}
+		if err := c.sendCCSAndFinished(); err != nil {
+			return err
+		}
+		c.phase = cliServerCCS
+
+	case cliResumedKeys:
+		c.keys = sliceKeyBlock(c.version, c.suite, c.master, c.clientRandom[:], c.serverHello.random[:])
+		c.phase = cliServerCCS
+
+	case cliServerCCS:
+		// Server CCS: arm the read state and precompute the expected
+		// server finished hashes.
+		if err := c.msgs.readCCS(); err != nil {
+			return err
+		}
+		if err := armRead(c.version, c.conn, c.suite, c.keys.serverKey, c.keys.serverIV, c.keys.serverMAC); err != nil {
+			return err
+		}
+		c.expected = verifyDataFor(c.version, c.fin, false, c.master)
+		c.phase = cliServerFinished
+
+	case cliServerFinished:
+		if err := c.verifyServerFinished(); err != nil {
+			return err
+		}
+		if c.resumed {
+			// Resumed sessions respond with the client's CCS+Finished
+			// after the server's.
+			c.phase = cliSendFinal
+		} else {
+			c.finish()
+			c.phase = cliDone
+		}
+
+	case cliSendFinal:
+		if err := c.sendCCSAndFinished(); err != nil {
+			return err
+		}
+		c.finish()
+		c.phase = cliDone
+	}
+	return nil
+}
+
+// finish records the completed handshake's outcome.
+func (c *clientState) finish() {
+	c.res = &Result{
 		Suite:   c.suite,
 		Resumed: c.resumed,
 		Session: &Session{
@@ -172,13 +302,68 @@ func (c *clientState) run() (*Result, error) {
 			Master:  append([]byte(nil), c.master...),
 			Version: c.version,
 		},
-	}, nil
+	}
 }
 
-// finishFull handles certificate, key exchange, and the finished
-// exchange of a full handshake.
-func (c *clientState) finishFull() error {
-	// Certificate.
+// sendHello builds and sends the ClientHello. The record layer stays
+// flexible until the ServerHello pins the negotiated version.
+func (c *clientState) sendHello() error {
+	c.fin = sslcrypto.NewFinishedHash()
+	hello := clientHelloMsg{
+		version:      c.cfg.version(),
+		cipherSuites: c.cfg.offered(),
+		compressions: []byte{0},
+	}
+	if err := fillRandom(c.cfg.Rand, c.clientRandom[:], c.cfg.now()); err != nil {
+		return err
+	}
+	hello.random = c.clientRandom
+	if c.cfg.Session != nil {
+		hello.sessionID = c.cfg.Session.ID
+	}
+	rawHello := hello.marshal()
+	c.fin.Write(rawHello)
+	return c.conn.WriteRecord(record.TypeHandshake, rawHello)
+}
+
+func (c *clientState) readServerHello() error {
+	msgType, raw, err := c.msgs.next()
+	if err != nil {
+		return err
+	}
+	if msgType != typeServerHello {
+		return fmt.Errorf("handshake: expected ServerHello, got type %d", msgType)
+	}
+	if err := c.serverHello.unmarshal(raw[4:]); err != nil {
+		return err
+	}
+	c.fin.Write(raw)
+	offered := c.cfg.version()
+	if c.serverHello.version < record.VersionSSL30 || c.serverHello.version > offered {
+		return fmt.Errorf("handshake: server version %#04x", c.serverHello.version)
+	}
+	c.version = c.serverHello.version
+	c.conn.SetProtocolVersion(c.version)
+	if c.suite, err = suite.ByID(c.serverHello.cipherSuite); err != nil {
+		return err
+	}
+
+	// Resumption: the server echoes our offered session id.
+	if c.cfg.Session != nil && len(c.cfg.Session.ID) > 0 &&
+		bytes.Equal(c.serverHello.sessionID, c.cfg.Session.ID) {
+		c.resumed = true
+		c.master = append([]byte(nil), c.cfg.Session.Master...)
+		if c.suite.ID != c.cfg.Session.Suite {
+			return errors.New("handshake: resumed session changed cipher suite")
+		}
+		if c.cfg.Session.Version != 0 && c.cfg.Session.Version != c.version {
+			return errors.New("handshake: resumed session changed protocol version")
+		}
+	}
+	return nil
+}
+
+func (c *clientState) readCertificate() error {
 	msgType, raw, err := c.msgs.next()
 	if err != nil {
 		return err
@@ -198,49 +383,49 @@ func (c *clientState) finishFull() error {
 	if err := c.verifyCert(cert, certMsg.certificates[1:]); err != nil {
 		return err
 	}
+	c.cert = cert
+	return nil
+}
 
-	// For DHE suites the server sends its signed ephemeral
-	// parameters before ServerHelloDone.
-	var ske *serverKeyExchangeMsg
-	msgType, raw, err = c.msgs.next()
-	if err != nil {
+func (c *clientState) readServerKeyExchange(msgType byte, raw []byte) error {
+	if msgType != typeServerKeyExchange {
+		return fmt.Errorf("handshake: expected ServerKeyExchange, got type %d", msgType)
+	}
+	ske := &serverKeyExchangeMsg{}
+	if err := ske.unmarshal(raw[4:]); err != nil {
 		return err
 	}
-	if c.suite.Kx == suite.KxDHERSA {
-		if msgType != typeServerKeyExchange {
-			return fmt.Errorf("handshake: expected ServerKeyExchange, got type %d", msgType)
-		}
-		ske = &serverKeyExchangeMsg{}
-		if err := ske.unmarshal(raw[4:]); err != nil {
-			return err
-		}
-		c.fin.Write(raw)
-		digest := skeDigest(c.clientRandom[:], c.serverHello.random[:], ske.paramBytes())
-		if err := cert.PublicKey.VerifyPKCS1(rsa.HashMD5SHA1, digest, ske.sig); err != nil {
-			return fmt.Errorf("handshake: ServerKeyExchange signature: %w", err)
-		}
-		if msgType, raw, err = c.msgs.next(); err != nil {
-			return err
-		}
+	c.fin.Write(raw)
+	digest := skeDigest(c.clientRandom[:], c.serverHello.random[:], ske.paramBytes())
+	if err := c.cert.PublicKey.VerifyPKCS1(rsa.HashMD5SHA1, digest, ske.sig); err != nil {
+		return fmt.Errorf("handshake: ServerKeyExchange signature: %w", err)
 	}
+	c.ske = ske
+	return nil
+}
 
+func (c *clientState) readServerDone(msgType byte, raw []byte) error {
 	// ServerHelloDone (certificate request is not sent: clients are
 	// not authenticated, as in the paper's setup).
 	if msgType != typeServerHelloDone {
 		return fmt.Errorf("handshake: expected ServerHelloDone, got type %d", msgType)
 	}
 	c.fin.Write(raw)
+	return nil
+}
 
-	// ClientKeyExchange.
+// sendKeyExchange builds and sends the ClientKeyExchange and derives
+// the master secret and key block.
+func (c *clientState) sendKeyExchange() error {
 	var preMaster []byte
 	var rawCkx []byte
 	if c.suite.Kx == suite.KxDHERSA {
-		params := &dh.Params{P: newIntFromBytes(ske.p), G: newIntFromBytes(ske.g)}
+		params := &dh.Params{P: newIntFromBytes(c.ske.p), G: newIntFromBytes(c.ske.g)}
 		key, err := dh.GenerateKey(c.cfg.Rand, params)
 		if err != nil {
 			return err
 		}
-		preMaster, err = key.SharedSecret(newIntFromBytes(ske.y))
+		preMaster, err = key.SharedSecret(newIntFromBytes(c.ske.y))
 		if err != nil {
 			return err
 		}
@@ -253,10 +438,10 @@ func (c *clientState) finishFull() error {
 		preMaster = make([]byte, sslcrypto.PreMasterLen)
 		preMaster[0] = byte(c.cfg.version() >> 8)
 		preMaster[1] = byte(c.cfg.version())
-		if _, err := io.ReadFull(c.cfg.Rand, preMaster[2:]); err != nil {
+		if _, err := io.ReadFull(c.cfg.Rand, preMaster[2:]); err != nil { // lint:allow-read — randomness source, not the transport
 			return err
 		}
-		encrypted, err := cert.PublicKey.EncryptPKCS1(c.cfg.Rand, preMaster)
+		encrypted, err := c.cert.PublicKey.EncryptPKCS1(c.cfg.Rand, preMaster)
 		if err != nil {
 			return err
 		}
@@ -269,7 +454,7 @@ func (c *clientState) finishFull() error {
 		}
 	}
 	c.fin.Write(rawCkx)
-	if err := c.layer.WriteRecord(record.TypeHandshake, rawCkx); err != nil {
+	if err := c.conn.WriteRecord(record.TypeHandshake, rawCkx); err != nil {
 		return err
 	}
 
@@ -278,23 +463,7 @@ func (c *clientState) finishFull() error {
 		preMaster[i] = 0
 	}
 	c.keys = sliceKeyBlock(c.version, c.suite, c.master, c.clientRandom[:], c.serverHello.random[:])
-
-	// CCS + client Finished under the new keys.
-	if err := c.sendCCSAndFinished(); err != nil {
-		return err
-	}
-	// Server CCS + Finished.
-	return c.readCCSAndFinished()
-}
-
-// finishResumed handles the short tail: server sends CCS+Finished
-// first, then the client responds.
-func (c *clientState) finishResumed() error {
-	c.keys = sliceKeyBlock(c.version, c.suite, c.master, c.clientRandom[:], c.serverHello.random[:])
-	if err := c.readCCSAndFinished(); err != nil {
-		return err
-	}
-	return c.sendCCSAndFinished()
+	return nil
 }
 
 // verifyCert validates the leaf and, when intermediates are present,
@@ -333,27 +502,22 @@ func (c *clientState) verifyCert(cert *x509lite.Certificate, intermediates [][]b
 }
 
 func (c *clientState) sendCCSAndFinished() error {
-	if err := c.layer.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
+	if err := c.conn.WriteRecord(record.TypeChangeCipherSpec, []byte{1}); err != nil {
 		return err
 	}
-	if err := armWrite(c.version, c.layer, c.suite, c.keys.clientKey, c.keys.clientIV, c.keys.clientMAC); err != nil {
+	if err := armWrite(c.version, c.conn, c.suite, c.keys.clientKey, c.keys.clientIV, c.keys.clientMAC); err != nil {
 		return err
 	}
 	verify := verifyDataFor(c.version, c.fin, true, c.master)
 	msg := finishedMsg{verify: verify}
 	raw := msg.marshal()
 	c.fin.Write(raw)
-	return c.layer.WriteRecord(record.TypeHandshake, raw)
+	return c.conn.WriteRecord(record.TypeHandshake, raw)
 }
 
-func (c *clientState) readCCSAndFinished() error {
-	if err := c.msgs.readCCS(); err != nil {
-		return err
-	}
-	if err := armRead(c.version, c.layer, c.suite, c.keys.serverKey, c.keys.serverIV, c.keys.serverMAC); err != nil {
-		return err
-	}
-	expected := verifyDataFor(c.version, c.fin, false, c.master)
+// verifyServerFinished reads the server Finished and compares it to
+// the hashes cliServerCCS precomputed.
+func (c *clientState) verifyServerFinished() error {
 	msgType, raw, err := c.msgs.next()
 	if err != nil {
 		return err
@@ -365,7 +529,7 @@ func (c *clientState) readCCSAndFinished() error {
 	if err := fin.unmarshal(raw[4:], finishedLenFor(c.version)); err != nil {
 		return err
 	}
-	if !bytes.Equal(fin.verify, expected) {
+	if !bytes.Equal(fin.verify, c.expected) {
 		return errors.New("handshake: server finished verification failed")
 	}
 	c.fin.Write(raw)

@@ -8,22 +8,28 @@ import (
 )
 
 // msgReader assembles handshake messages from handshake-type records,
-// which may each carry several messages or a fraction of one.
+// which may each carry several messages or a fraction of one. It
+// reads through the RecordConn interface, so over a sans-IO core its
+// calls surface ErrWouldBlock: every method is re-entrant — partial
+// progress (buffered fragments of a message split across record
+// boundaries) is kept in buf, nothing is consumed twice, and the same
+// call simply resumes once more bytes are fed.
 type msgReader struct {
-	layer *record.Layer
-	buf   []byte
+	conn RecordConn
+	buf  []byte
 	// sawCCS is set when a ChangeCipherSpec record arrives while a
 	// handshake message was expected; the FSMs consume it explicitly.
 	sawCCS bool
 }
 
-func newMsgReader(l *record.Layer) *msgReader { return &msgReader{layer: l} }
+func newMsgReader(c RecordConn) *msgReader { return &msgReader{conn: c} }
 
 // fill reads records until at least n buffered handshake bytes are
-// available.
+// available. On ErrWouldBlock the bytes gathered so far stay
+// buffered; call again after feeding the core.
 func (r *msgReader) fill(n int) error {
 	for len(r.buf) < n {
-		typ, payload, err := r.layer.ReadRecord()
+		typ, payload, err := r.conn.ReadRecord()
 		if err != nil {
 			return err
 		}
@@ -41,6 +47,8 @@ func (r *msgReader) fill(n int) error {
 
 // next returns the next handshake message: its type and full wire
 // bytes (header + body), which callers feed into the finished hash.
+// The returned slice is a copy — safe past subsequent reads and
+// feeds.
 func (r *msgReader) next() (byte, []byte, error) {
 	if err := r.fill(4); err != nil {
 		return 0, nil, err
@@ -65,7 +73,7 @@ func (r *msgReader) readCCS() error {
 	if len(r.buf) != 0 {
 		return errors.New("handshake: data buffered across ChangeCipherSpec")
 	}
-	typ, payload, err := r.layer.ReadRecord()
+	typ, payload, err := r.conn.ReadRecord()
 	if err != nil {
 		return err
 	}

@@ -36,9 +36,13 @@ type State uint8
 
 // Lifecycle states, in the order a healthy connection passes through
 // them. Failed replaces Established..Closed on a handshake error.
+// Suspended is the event-loop variant of Handshaking: the non-blocking
+// core hit WouldBlock mid-handshake and the connection is parked
+// waiting for transport readiness, holding buffers but no goroutine.
 const (
 	StateAccepted State = iota
 	StateHandshaking
+	StateSuspended
 	StateEstablished
 	StateDraining
 	StateClosed
@@ -50,6 +54,7 @@ const (
 var stateNames = [stateCount]string{
 	StateAccepted:    "accepted",
 	StateHandshaking: "handshaking",
+	StateSuspended:   "suspended",
 	StateEstablished: "established",
 	StateDraining:    "draining",
 	StateClosed:      "closed",
@@ -268,6 +273,7 @@ type Counts struct {
 	Live        int
 	Accepted    int
 	Handshaking int
+	Suspended   int
 	Established int
 	Draining    int
 
@@ -300,6 +306,8 @@ func (t *Table) Counts() Counts {
 				c.Accepted++
 			case StateHandshaking:
 				c.Handshaking++
+			case StateSuspended:
+				c.Suspended++
 			case StateEstablished:
 				c.Established++
 			case StateDraining:
@@ -326,6 +334,35 @@ func (c *Conn) HandshakeStart() {
 	c.state = StateHandshaking
 	c.mu.Unlock()
 	c.tab.slo.HandshakeBegin()
+}
+
+// Suspend marks a handshaking connection suspended: its non-blocking
+// core returned WouldBlock and the connection is parked on an event
+// loop until the transport is ready again. No-op outside the
+// handshake so terminal states are never clobbered.
+func (c *Conn) Suspend() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.state == StateHandshaking {
+		c.state = StateSuspended
+	}
+	c.mu.Unlock()
+}
+
+// Resume moves a suspended connection back to handshaking when its
+// event loop re-enters the core. Unlike HandshakeStart it does not
+// touch the SLO in-flight gauge — the handshake never ended.
+func (c *Conn) Resume() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.state == StateSuspended {
+		c.state = StateHandshaking
+	}
+	c.mu.Unlock()
 }
 
 // Established records a successful handshake.
@@ -505,7 +542,7 @@ func (c *Conn) info(now time.Time) ConnInfo {
 		Resumed: c.resumed,
 		AgeMs:   float64(now.Sub(c.Opened)) / float64(time.Millisecond),
 	}
-	if c.state == StateHandshaking && c.step != probe.StepNone {
+	if (c.state == StateHandshaking || c.state == StateSuspended) && c.step != probe.StepNone {
 		ci.Step = c.step.Name()
 	}
 	if c.hsDur > 0 {

@@ -38,6 +38,17 @@ type Bus struct {
 	open      bool
 	stepStart time.Time
 
+	// suspended/stepAccum support non-blocking handshakes parked on
+	// WouldBlock: StepSuspend banks the active time accrued so far and
+	// stops the clock; StepResume restarts it. StepExit then reports
+	// banked + current active time, so a step that waited minutes for
+	// wire bytes still attributes only the cycles it actually spent —
+	// the /debug/anatomy shares stay exact across suspension. Sinks
+	// never see suspend/resume: the event stream remains exactly one
+	// Enter and one Exit per step.
+	suspended bool
+	stepAccum time.Duration
+
 	// labelCtx carries the open step's pprof labels when profile
 	// labelling is enabled (see SetProfileLabels); nil otherwise. It is
 	// single-owner state like the step cursor.
@@ -101,25 +112,64 @@ func (b *Bus) StepEnter(st Step) {
 	b.StepExit()
 	now := time.Now()
 	b.cur, b.open, b.stepStart = st, true, now
+	b.suspended, b.stepAccum = false, 0
 	if ProfileLabels() {
 		b.labelCtx = labelStep(st)
 	}
 	b.emit(Event{Kind: KindStepEnter, Step: st, At: now})
 }
 
-// StepExit closes the open step, emitting its in-step duration; a
-// no-op when no step is open.
+// StepExit closes the open step, emitting its in-step duration
+// (active time only — intervals parked by StepSuspend are excluded);
+// a no-op when no step is open.
 func (b *Bus) StepExit() {
 	if b == nil || !b.open {
 		return
 	}
 	now := time.Now()
+	dur := b.stepAccum
+	if !b.suspended {
+		dur += now.Sub(b.stepStart)
+	}
 	b.open = false
-	b.emit(Event{Kind: KindStepExit, Step: b.cur, At: now, Dur: now.Sub(b.stepStart)})
+	b.emit(Event{Kind: KindStepExit, Step: b.cur, At: now, Dur: dur})
 	b.cur = StepNone
+	b.suspended, b.stepAccum = false, 0
 	if b.labelCtx != nil {
 		b.labelCtx = nil
 		clearLabels()
+	}
+}
+
+// StepSuspend parks the open step's clock: the active time accrued
+// since entry (or the last resume) is banked and the goroutine's
+// pprof step labels are cleared, so time spent waiting for wire bytes
+// is attributed to neither the step nor its profile bucket. No event
+// is emitted — sinks see suspension only as a gap inside one
+// Enter/Exit pair. A no-op when no step is open or already suspended.
+func (b *Bus) StepSuspend() {
+	if b == nil || !b.open || b.suspended {
+		return
+	}
+	b.stepAccum += time.Since(b.stepStart)
+	b.suspended = true
+	if b.labelCtx != nil {
+		b.labelCtx = nil
+		clearLabels()
+	}
+}
+
+// StepResume restarts a suspended step's clock and re-applies its
+// pprof labels. A no-op when no step is open or the step is not
+// suspended.
+func (b *Bus) StepResume() {
+	if b == nil || !b.open || !b.suspended {
+		return
+	}
+	b.stepStart = time.Now()
+	b.suspended = false
+	if ProfileLabels() {
+		b.labelCtx = labelStep(b.cur)
 	}
 }
 

@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"testing"
+	"time"
+)
+
+// collectSink appends every event it sees.
+type collectSink struct{ events []Event }
+
+func (c *collectSink) Emit(e Event) { c.events = append(c.events, e) }
+
+// A suspended step must exclude parked wall time from its exit
+// duration: only the active intervals between Enter/Resume and
+// Suspend/Exit count. Sinks must see exactly one Enter and one Exit.
+func TestStepSuspendExcludesParkedTime(t *testing.T) {
+	sink := &collectSink{}
+	b := NewBus(sink)
+
+	b.StepEnter(StepGetClientHello)
+	time.Sleep(2 * time.Millisecond) // active
+	b.StepSuspend()
+	time.Sleep(20 * time.Millisecond) // parked — must not count
+	b.StepResume()
+	time.Sleep(2 * time.Millisecond) // active
+	b.StepExit()
+
+	var enters, exits int
+	var dur time.Duration
+	for _, e := range sink.events {
+		switch e.Kind {
+		case KindStepEnter:
+			enters++
+		case KindStepExit:
+			exits++
+			dur = e.Dur
+		}
+	}
+	if enters != 1 || exits != 1 {
+		t.Fatalf("suspension leaked into the event stream: %d enters, %d exits", enters, exits)
+	}
+	if dur < 4*time.Millisecond {
+		t.Fatalf("exit duration %v lost active time", dur)
+	}
+	if dur > 15*time.Millisecond {
+		t.Fatalf("exit duration %v includes parked time (parked 20ms)", dur)
+	}
+}
+
+// Exiting while still suspended (a handshake that fails mid-park)
+// reports only the banked active time.
+func TestStepExitWhileSuspended(t *testing.T) {
+	sink := &collectSink{}
+	b := NewBus(sink)
+
+	b.StepEnter(StepGetClientKX)
+	b.StepSuspend()
+	time.Sleep(20 * time.Millisecond)
+	b.StepExit()
+
+	last := sink.events[len(sink.events)-1]
+	if last.Kind != KindStepExit {
+		t.Fatalf("last event %v, want StepExit", last.Kind)
+	}
+	if last.Dur > 10*time.Millisecond {
+		t.Fatalf("exit duration %v includes parked time", last.Dur)
+	}
+}
+
+// Suspend/Resume are no-ops with no open step, when already in the
+// requested state, and on a nil bus.
+func TestSuspendResumeNoOps(t *testing.T) {
+	var nilBus *Bus
+	nilBus.StepSuspend()
+	nilBus.StepResume()
+
+	sink := &collectSink{}
+	b := NewBus(sink)
+	b.StepSuspend() // no open step
+	b.StepResume()
+	if len(sink.events) != 0 {
+		t.Fatalf("no-op suspend/resume emitted %d events", len(sink.events))
+	}
+
+	b.StepEnter(StepInit)
+	b.StepSuspend()
+	b.StepSuspend() // double suspend must not double-bank
+	b.StepResume()
+	b.StepResume() // double resume must not reset the clock twice
+	b.StepExit()
+	var exits int
+	for _, e := range sink.events {
+		if e.Kind == KindStepExit {
+			exits++
+		}
+	}
+	if exits != 1 {
+		t.Fatalf("%d exits, want 1", exits)
+	}
+}
+
+// A fresh StepEnter after a suspended step's exit must start from a
+// clean clock (no banked time leaking across steps).
+func TestSuspendStateResetsAcrossSteps(t *testing.T) {
+	sink := &collectSink{}
+	b := NewBus(sink)
+
+	b.StepEnter(StepInit)
+	time.Sleep(5 * time.Millisecond)
+	b.StepSuspend()
+	b.StepExit()
+
+	b.StepEnter(StepGetClientHello)
+	b.StepExit()
+
+	last := sink.events[len(sink.events)-1]
+	if last.Step != StepGetClientHello || last.Kind != KindStepExit {
+		t.Fatalf("unexpected last event %+v", last)
+	}
+	if last.Dur > 3*time.Millisecond {
+		t.Fatalf("second step inherited banked time: %v", last.Dur)
+	}
+}

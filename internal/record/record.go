@@ -7,7 +7,6 @@
 package record
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -166,34 +165,18 @@ const (
 	OpMACVerify     = probe.OpMACVerify
 )
 
-// A Layer frames records over an underlying stream. It is not safe
-// for concurrent use; the ssl package serializes access.
+// A Layer frames records over an underlying stream: the sans-IO Core
+// (framing, MAC, padding, cipher state, sequence numbers) plus a thin
+// blocking transport adapter. The embedded Core's fields — Stats,
+// Probe — and state setters are promoted; Layer shadows ReadRecord
+// and WriteRecord with transport-backed equivalents that share the
+// Core's seal/open implementation, so the blocking and non-blocking
+// paths emit identical wire bytes and probe events. Not safe for
+// concurrent use; the ssl package serializes access.
 type Layer struct {
-	rw  io.ReadWriter
-	in  halfState
-	out halfState
+	Core
 
-	// Stats accumulates counts; read freely between operations.
-	Stats Stats
-
-	// Probe, when non-nil, is the instrumentation spine the layer
-	// emits on: one timed KindRecordCrypto event per cipher/MAC pass
-	// and one KindRecordIO event per record written (per fragment) or
-	// successfully opened. Every stamp comes from the bus, so a nil
-	// bus costs one pointer test per hook and zero clock reads.
-	Probe *probe.Bus
-
-	// cipherPrim/macPrim name the primitives behind the armed cipher
-	// states ("RC4", "MD5", …); SetPrimitives installs them when the
-	// handshake arms encryption. They live on the layer, not the bus,
-	// so observer swaps (ssl.Conn.refreshBus) cannot lose them.
-	cipherPrim string
-	macPrim    string
-
-	// version is the pinned protocol version; 0 means flexible
-	// (accept SSL 3.0 or TLS 1.0, emit SSL 3.0) until the handshake
-	// negotiates and pins one via SetProtocolVersion.
-	version uint16
+	rw io.ReadWriter
 
 	readBuf [headerLen]byte
 
@@ -260,71 +243,24 @@ func (l *Layer) SetSealPipeline(width int) {
 	l.fl = nil // rebuild lanes on next flight
 }
 
-// SetProtocolVersion pins the record-layer protocol version after
-// negotiation. Subsequent records are emitted with it and inbound
-// records must match it.
-func (l *Layer) SetProtocolVersion(v uint16) { l.version = v }
-
-// ProtocolVersion reports the pinned version (0 when still flexible).
-func (l *Layer) ProtocolVersion() uint16 { return l.version }
-
-func (l *Layer) writeVersion() uint16 {
-	if l.version == 0 {
-		return VersionSSL30
-	}
-	return l.version
-}
-
-func (l *Layer) versionOK(v uint16) bool {
-	if l.version != 0 {
-		return v == l.version
-	}
-	return v == VersionSSL30 || v == VersionTLS10
-}
-
-// timeCrypto runs fn, reporting it on the probe bus when one is
-// attached.
-func (l *Layer) timeCrypto(op CryptoOp, prim string, n int, fn func()) {
-	if l.Probe == nil {
-		fn()
-		return
-	}
-	start := l.Probe.Stamp()
-	fn()
-	l.Probe.RecordCrypto(op, prim, n, start)
-}
-
 // NewLayer wraps rw in a record layer with NULL security (the state
 // before ChangeCipherSpec).
 func NewLayer(rw io.ReadWriter) *Layer {
 	return &Layer{rw: rw}
 }
 
-// SetPrimitives names the cipher and MAC primitives the armed states
-// use ("RC4", "AES", …; "MD5", "SHA-1"), so RecordCrypto events carry
-// per-primitive attribution. The handshake calls it alongside
-// SetWriteState/SetReadState; both directions share one suite, so one
-// pair covers the connection.
-func (l *Layer) SetPrimitives(cipher, mac string) {
-	l.cipherPrim, l.macPrim = cipher, mac
-}
-
 // SetWriteState installs the outbound cipher and MAC and resets the
 // outbound sequence number; called when sending ChangeCipherSpec. Any
 // flight state is invalidated — its lane MACs are clones of the old
-// write MAC.
+// write MAC. (Shadows Core.SetWriteState, which has no flight.)
 func (l *Layer) SetWriteState(c suite.RecordCipher, m *sslcrypto.MAC) {
-	l.out = halfState{cipher: c, mac: m}
+	l.Core.SetWriteState(c, m)
 	l.fl = nil
 }
 
-// SetReadState installs the inbound cipher and MAC and resets the
-// inbound sequence number; called when receiving ChangeCipherSpec.
-func (l *Layer) SetReadState(c suite.RecordCipher, m *sslcrypto.MAC) {
-	l.in = halfState{cipher: c, mac: m}
-}
-
 // WriteRecord sends data of the given type, fragmenting as needed.
+// (Shadows Core.WriteRecord: each fragment goes straight to the
+// transport instead of the outgoing buffer.)
 func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
 	for first := true; first || len(data) > 0; first = false {
 		n := len(data)
@@ -341,74 +277,33 @@ func (l *Layer) WriteRecord(typ ContentType, data []byte) error {
 
 // writeFragment seals and sends one fragment as a single contiguous
 // write: header ‖ payload ‖ MAC ‖ padding assembled in one pooled
-// buffer — MAC appended in place, padding in place, cipher in place —
-// so a steady-state seal performs zero heap allocations and one
-// transport Write (the legacy path issued two: header then body,
-// doubling the syscall count of every handshake record and small
-// application write).
+// buffer by the Core's sealAppend — so a steady-state seal performs
+// zero heap allocations and one transport Write (the legacy path
+// issued two: header then body, doubling the syscall count of every
+// handshake record and small application write). Sequence and stats
+// commit only after the transport accepts the record.
 func (l *Layer) writeFragment(typ ContentType, payload []byte) (err error) {
-	// Timing is inlined rather than routed through timeCrypto: the
-	// closure a timeCrypto call would need captures the growing body
-	// slice and forces a heap allocation per record. Stamp/RecordCrypto
-	// are nil-receiver no-ops, so the probe-off path stays branch-only.
 	bp := sealPool.Get().(*[]byte)
-	buf := *bp
-	// Worst case: header + payload + MAC + a full padding block. A
-	// standard pooled buffer always suffices for payloads the record
-	// layer fragments to; the guard keeps oversized callers safe.
-	if need := headerLen + len(payload) + 64; cap(buf) < need {
-		buf = make([]byte, 0, need)
-	}
-	rec := buf[:headerLen]
-	body := append(rec[headerLen:headerLen], payload...)
-	if l.out.mac != nil {
-		start := l.Probe.Stamp()
-		body = l.out.mac.AppendCompute(body, l.out.seq, byte(typ), payload)
-		l.Probe.RecordCrypto(OpMACCompute, l.macPrim, len(payload), start)
-	}
-	if l.out.active() {
-		if bs := l.out.cipher.BlockSize(); bs > 1 {
-			// Block padding: pad bytes then a count byte; total
-			// length must be a block multiple. Every pad byte holds
-			// the count, as TLS 1.0 requires (SSLv3 allows any
-			// content, so this satisfies both).
-			padLen := bs - (len(body)+1)%bs
-			if padLen == bs {
-				padLen = 0
-			}
-			for i := 0; i < padLen; i++ {
-				body = append(body, byte(padLen))
-			}
-			body = append(body, byte(padLen))
-		}
-		start := l.Probe.Stamp()
-		l.out.cipher.Encrypt(body)
-		l.Probe.RecordCrypto(OpCipherEncrypt, l.cipherPrim, len(body), start)
-	}
-	rec = buf[:headerLen+len(body)]
-	rec[0] = byte(typ)
-	binary.BigEndian.PutUint16(rec[1:], l.writeVersion())
-	binary.BigEndian.PutUint16(rec[3:], uint16(len(body)))
+	// A standard pooled buffer always suffices for payloads the record
+	// layer fragments to; sealAppend grows it for oversized callers
+	// (and putSealBuf drops the growth rather than pin it pool-wide).
+	rec := l.sealAppend((*bp)[:0], typ, payload)
 	_, err = l.rw.Write(rec)
 	l.Stats.WriteCalls++
-	*bp = buf[:0]
+	*bp = rec[:0]
 	putSealBuf(bp)
 	if err != nil {
 		return err
 	}
-	l.out.seq++
-	l.Stats.RecordsWritten++
-	l.Stats.BytesWritten += len(payload)
-	if typ == TypeAlert {
-		l.Stats.AlertsWritten++
-	}
-	l.Probe.RecordIO(true, typ == TypeAlert, len(payload))
+	l.commitWrite(typ, len(payload))
 	return nil
 }
 
 // ReadRecord reads and opens the next record, returning its type and
 // plaintext payload. Alerts are surfaced as *AlertError (close_notify
-// additionally returns ErrClosed on subsequent reads).
+// additionally returns ErrClosed on subsequent reads). (Shadows
+// Core.ReadRecord: blocks on the transport instead of returning
+// ErrWouldBlock.)
 //
 // The returned payload aliases the layer's internal scratch buffer and
 // is valid only until the next ReadRecord call — callers that need it
@@ -419,14 +314,9 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	if _, err := io.ReadFull(l.rw, l.readBuf[:]); err != nil {
 		return 0, nil, err
 	}
-	typ := ContentType(l.readBuf[0])
-	version := binary.BigEndian.Uint16(l.readBuf[1:])
-	length := int(binary.BigEndian.Uint16(l.readBuf[3:]))
-	if !l.versionOK(version) {
-		return 0, nil, fmt.Errorf("record: unsupported version %#04x", version)
-	}
-	if length == 0 || length > MaxFragment+2048 {
-		return 0, nil, fmt.Errorf("record: implausible record length %d", length)
+	typ, length, err := l.parseHeader(l.readBuf[:])
+	if err != nil {
+		return 0, nil, err
 	}
 	if cap(l.readScratch) < length {
 		l.readScratch = make([]byte, length)
@@ -439,86 +329,11 @@ func (l *Layer) ReadRecord() (ContentType, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	l.Stats.RecordsRead++
-	l.Stats.BytesRead += len(payload)
-	if typ == TypeAlert {
-		l.Stats.AlertsRead++
-	}
-	l.Probe.RecordIO(false, typ == TypeAlert, len(payload))
-	if typ == TypeAlert {
-		if len(payload) != 2 {
-			return 0, nil, errors.New("record: malformed alert")
-		}
-		return typ, payload, &AlertError{Level: payload[0], Description: payload[1], Peer: true}
-	}
-	return typ, payload, nil
+	return l.finishRead(typ, payload)
 }
 
-// open decrypts, strips padding, and verifies the MAC of one record
-// body in place.
-func (l *Layer) open(typ ContentType, body []byte) ([]byte, error) {
-	if !l.in.active() {
-		if l.in.mac != nil {
-			return l.checkMAC(typ, body)
-		}
-		l.in.seq++
-		return body, nil
-	}
-	bs := l.in.cipher.BlockSize()
-	if bs > 1 && len(body)%bs != 0 {
-		return nil, errors.New("record: ciphertext not a block multiple")
-	}
-	l.timeCrypto(OpCipherDecrypt, l.cipherPrim, len(body), func() {
-		l.in.cipher.Decrypt(body)
-	})
-	if bs > 1 {
-		if len(body) == 0 {
-			return nil, errors.New("record: empty block record")
-		}
-		padLen := int(body[len(body)-1])
-		if padLen+1 > len(body) {
-			return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
-		}
-		if l.version >= VersionTLS10 {
-			// TLS 1.0: padding may span blocks and every pad byte
-			// must equal the count.
-			for _, b := range body[len(body)-padLen-1:] {
-				if int(b) != padLen {
-					return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
-				}
-			}
-		} else if padLen >= bs {
-			// SSLv3: padding must not exceed one block; content is
-			// arbitrary.
-			return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
-		}
-		body = body[:len(body)-padLen-1]
-	}
-	return l.checkMAC(typ, body)
-}
-
-func (l *Layer) checkMAC(typ ContentType, body []byte) ([]byte, error) {
-	if l.in.mac == nil {
-		l.in.seq++
-		return body, nil
-	}
-	macLen := l.in.mac.Size()
-	if len(body) < macLen {
-		return nil, errors.New("record: record shorter than MAC")
-	}
-	payload, mac := body[:len(body)-macLen], body[len(body)-macLen:]
-	var ok bool
-	l.timeCrypto(OpMACVerify, l.macPrim, len(payload), func() {
-		ok = l.in.mac.Verify(l.in.seq, byte(typ), payload, mac)
-	})
-	if !ok {
-		return nil, &AlertError{Level: AlertLevelFatal, Description: AlertBadRecordMAC}
-	}
-	l.in.seq++
-	return payload, nil
-}
-
-// SendAlert writes an alert record.
+// SendAlert writes an alert record. (Shadows Core.SendAlert so the
+// alert reaches the transport, not the outgoing buffer.)
 func (l *Layer) SendAlert(level, desc byte) error {
 	return l.WriteRecord(TypeAlert, []byte{level, desc})
 }

@@ -1,0 +1,408 @@
+package ssl
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"sslperf/internal/handshake"
+	"sslperf/internal/lifecycle"
+	"sslperf/internal/probe"
+	"sslperf/internal/record"
+	"sslperf/internal/telemetry"
+	"sslperf/internal/trace"
+)
+
+// ErrWouldBlock is the sans-IO sentinel: a NonBlockingConn call made
+// all the progress it could with the bytes fed so far and needs more
+// input (or its output drained) before it can continue. It is never a
+// terminal error — feed more bytes and call again.
+var ErrWouldBlock = record.ErrWouldBlock
+
+// A NonBlockingConn is one end of an SSL connection with no transport
+// attached: the sans-IO core for event-driven servers. Wire bytes go
+// in through Feed and come out through Outgoing/ConsumeOutgoing; the
+// caller owns the socket, the readiness notification, and the buffer
+// shuttling. HandshakeStep advances the resumable handshake FSM until
+// it either completes, fails terminally, or suspends with
+// ErrWouldBlock; ReadData/WriteData move application data through the
+// negotiated channel the same way.
+//
+// Unlike Conn, a NonBlockingConn performs no locking: it is designed
+// for a single event-loop goroutine and all methods must be called
+// from one goroutine at a time. Every observability surface a Conn
+// feeds (telemetry registry, tracer sampling, /debug/anatomy folds,
+// the lifecycle table with its new suspended state) is wired
+// identically here, and handshake-step attribution pauses across
+// suspensions so parked wall-time never pollutes step durations.
+type NonBlockingConn struct {
+	core     *record.Core
+	cfg      *Config
+	isClient bool
+
+	srv *handshake.ServerFSM
+	cli *handshake.ClientFSM
+
+	remote       string
+	lcRegistered bool
+
+	handshakeDone bool
+	hsStarted     bool
+	hsErr         error
+	hsStart       time.Time
+	result        *handshake.Result
+	anatomy       *handshake.Anatomy
+	telemetryID   uint64
+
+	bus       *probe.Bus
+	baseSinks []probe.Sink
+	cryptoObs func(op record.CryptoOp, bytes int, d time.Duration)
+
+	lc *lifecycle.Conn
+
+	ct           *trace.ConnTrace
+	traceHS      uint64
+	traceOutcome string
+
+	// readArr owns the bytes of the most recent application record;
+	// readBuf is the unconsumed tail of it. A stable backing array
+	// keeps the steady-state read path allocation-free.
+	readArr []byte
+	readBuf []byte
+	eof     bool
+	closed  bool
+}
+
+// NonBlockingClient builds the client end of a sans-IO connection.
+func NonBlockingClient(cfg *Config) *NonBlockingConn {
+	return &NonBlockingConn{core: record.NewCore(), cfg: cfg, isClient: true}
+}
+
+// NonBlockingServer builds the server end of a sans-IO connection.
+func NonBlockingServer(cfg *Config) *NonBlockingConn {
+	return &NonBlockingConn{core: record.NewCore(), cfg: cfg, isClient: false}
+}
+
+// SetRemoteAddr records the peer address for the lifecycle table
+// entry. Call before the first HandshakeStep/Feed; later calls are
+// ignored (the entry is registered lazily on first use, since a
+// sans-IO core has no transport to ask).
+func (c *NonBlockingConn) SetRemoteAddr(addr string) { c.remote = addr }
+
+// ensureRegistered creates the lifecycle entry on first use.
+func (c *NonBlockingConn) ensureRegistered() {
+	if c.lcRegistered {
+		return
+	}
+	c.lcRegistered = true
+	if c.cfg.Lifecycle != nil {
+		c.lc = c.cfg.Lifecycle.Register(c.remote)
+	}
+}
+
+// Feed hands the connection ciphertext read from the transport. The
+// bytes are copied; the caller's buffer can be reused immediately.
+func (c *NonBlockingConn) Feed(b []byte) {
+	c.ensureRegistered()
+	c.core.Feed(b)
+}
+
+// Buffered reports how many fed bytes are not yet consumed.
+func (c *NonBlockingConn) Buffered() int { return c.core.Buffered() }
+
+// Outgoing returns the ciphertext waiting to be written to the
+// transport. The slice is valid until the next method call; write
+// some prefix of it, then ConsumeOutgoing what was written.
+func (c *NonBlockingConn) Outgoing() []byte { return c.core.Outgoing() }
+
+// ConsumeOutgoing discards n sent bytes from the outgoing buffer.
+func (c *NonBlockingConn) ConsumeOutgoing(n int) { c.core.ConsumeOutgoing(n) }
+
+// HandshakeDone reports whether the handshake has completed.
+func (c *NonBlockingConn) HandshakeDone() bool { return c.handshakeDone }
+
+// LifecycleEntry returns the connection's live table entry, nil when
+// no Config.Lifecycle is attached or nothing has run yet.
+func (c *NonBlockingConn) LifecycleEntry() *lifecycle.Conn { return c.lc }
+
+// SetAnatomy installs a recorder that will capture the server-side
+// handshake anatomy (Table 2). Must be called before the first
+// HandshakeStep.
+func (c *NonBlockingConn) SetAnatomy(a *handshake.Anatomy) { c.anatomy = a }
+
+// SetTrace attaches a pre-started connection trace (e.g. one begun at
+// TCP accept). Must be called before the first HandshakeStep; a nil
+// ConnTrace is ignored.
+func (c *NonBlockingConn) SetTrace(ct *trace.ConnTrace) {
+	if ct != nil {
+		c.ct = ct
+	}
+}
+
+// Trace returns the connection's sampled trace, nil when unsampled.
+func (c *NonBlockingConn) Trace() *trace.ConnTrace { return c.ct }
+
+// Stats returns the record-layer counters.
+func (c *NonBlockingConn) Stats() record.Stats { return c.core.Stats }
+
+// SetCryptoObserver routes bulk-phase record-layer crypto timings to
+// fn; pass nil to remove. See Conn.SetCryptoObserver.
+func (c *NonBlockingConn) SetCryptoObserver(fn func(op record.CryptoOp, bytes int, d time.Duration)) {
+	c.cryptoObs = fn
+	c.refreshBus()
+}
+
+// armProbes assembles the probe bus exactly as the blocking Conn
+// does: anatomy fold (server side), telemetry and trace sink shims,
+// the lifecycle entry, user probes, and the bulk-crypto observer.
+func (c *NonBlockingConn) armProbes(reg *telemetry.Registry) {
+	if !c.isClient && reg != nil && c.anatomy == nil {
+		c.anatomy = handshake.NewAnatomy()
+	}
+	sinks := make([]probe.Sink, 0, 4+len(c.cfg.Probes))
+	if c.anatomy != nil {
+		sinks = append(sinks, c.anatomy)
+	}
+	if reg != nil {
+		sinks = append(sinks, telemetry.ProbeSink(reg, c.telemetryID))
+	}
+	if c.ct != nil {
+		sinks = append(sinks, trace.ProbeSink(c.ct, c.traceHS))
+	}
+	if c.lc != nil {
+		sinks = append(sinks, c.lc)
+	}
+	sinks = append(sinks, c.cfg.Probes...)
+	c.baseSinks = sinks
+	c.refreshBus()
+}
+
+// refreshBus rebuilds the bus from the armed base sinks plus the
+// bulk-crypto observer and points the record core at it.
+func (c *NonBlockingConn) refreshBus() {
+	sinks := c.baseSinks
+	if c.cryptoObs != nil {
+		sinks = append(sinks[:len(sinks):len(sinks)], bulkCryptoSink{fn: c.cryptoObs})
+	}
+	c.bus = probe.NewBus(sinks...)
+	c.core.SetProbe(c.bus)
+}
+
+// startHandshake performs the one-time setup the blocking path does in
+// handshakeLocked — telemetry open, lifecycle transition, tracer
+// sampling, bus assembly — then constructs the FSM.
+func (c *NonBlockingConn) startHandshake() error {
+	c.hsStarted = true
+	c.hsStart = time.Now()
+	tel := c.cfg.Telemetry
+	if tel != nil {
+		c.telemetryID = telemetryStartFn(tel, c.isClient)
+	}
+	c.lc.HandshakeStart()
+	if c.ct != nil || c.cfg.Tracer != nil {
+		c.ct, c.traceHS = traceStartFn(c.cfg.Tracer, c.ct, c.telemetryID, c.isClient)
+	}
+	c.armProbes(tel)
+	var err error
+	if c.isClient {
+		c.cli, err = handshake.NewClientFSM(c.core, &handshake.ClientConfig{
+			Rand:               c.cfg.rand(),
+			Suites:             c.cfg.Suites,
+			Time:               c.cfg.Time,
+			Version:            c.cfg.Version,
+			Session:            c.cfg.Session,
+			RootCert:           c.cfg.RootCert,
+			ServerName:         c.cfg.ServerName,
+			InsecureSkipVerify: c.cfg.InsecureSkipVerify,
+		})
+	} else {
+		// The anatomy (when any) is already a sink on the bus, so the
+		// FSM gets the bus alone.
+		c.srv, err = handshake.NewServerFSM(c.core, &handshake.ServerConfig{
+			Key:        c.cfg.Key,
+			Decrypter:  c.cfg.Decrypter,
+			CertDER:    c.cfg.CertDER,
+			Chain:      c.cfg.CertChain,
+			Rand:       c.cfg.rand(),
+			Cache:      c.cfg.SessionCache,
+			Suites:     c.cfg.Suites,
+			Time:       c.cfg.Time,
+			MaxVersion: c.cfg.Version,
+			Probe:      c.bus,
+		}, nil)
+	}
+	return err
+}
+
+func (c *NonBlockingConn) stepFSM() error {
+	if c.isClient {
+		return c.cli.Step()
+	}
+	return c.srv.Step()
+}
+
+// HandshakeStep advances the handshake as far as the fed bytes allow.
+// It returns nil once the handshake has completed (and on every call
+// thereafter), ErrWouldBlock when more input is needed — drain
+// Outgoing, feed more ciphertext, call again — or a terminal error,
+// which is sticky and has already queued a fatal alert in Outgoing.
+// Probe-step attribution suspends across ErrWouldBlock, so parked
+// time never enters /debug/anatomy or the telemetry step histograms.
+func (c *NonBlockingConn) HandshakeStep() error {
+	if c.handshakeDone {
+		return nil
+	}
+	if c.hsErr != nil {
+		return c.hsErr
+	}
+	if c.closed {
+		return errors.New("ssl: connection closed")
+	}
+	c.ensureRegistered()
+	var err error
+	if !c.hsStarted {
+		if err = c.startHandshake(); err == nil {
+			err = c.stepFSM()
+		}
+	} else {
+		c.lc.Resume()
+		err = c.stepFSM()
+	}
+	if err == ErrWouldBlock {
+		c.lc.Suspend()
+		return err
+	}
+	d := time.Since(c.hsStart)
+	if err == nil {
+		if c.isClient {
+			c.result = c.cli.Result()
+		} else {
+			c.result = c.srv.Result()
+		}
+	}
+	if tel := c.cfg.Telemetry; tel != nil {
+		telemetryFinishFn(tel, c.telemetryID, c.result, c.anatomy, d, err)
+	}
+	if c.ct != nil {
+		c.traceOutcome = traceFinishFn(c.ct, c.traceHS, c.result, err)
+	}
+	if err != nil {
+		c.hsErr = err
+		c.lc.Failed(Classify(err), FailureReason(err), err.Error(), d)
+		return err
+	}
+	c.lc.Established(c.result.Suite.Name, c.result.Session.Version, c.result.Resumed, d)
+	c.handshakeDone = true
+	return nil
+}
+
+// ConnectionState returns the post-handshake state.
+func (c *NonBlockingConn) ConnectionState() (ConnectionState, error) {
+	if !c.handshakeDone {
+		return ConnectionState{}, errors.New("ssl: handshake has not completed")
+	}
+	return ConnectionState{
+		Suite:     c.result.Suite,
+		Resumed:   c.result.Resumed,
+		SessionID: c.result.Session.ID,
+		Version:   c.result.Session.Version,
+	}, nil
+}
+
+// Session returns the resumable session state; valid after the
+// handshake completes.
+func (c *NonBlockingConn) Session() (*handshake.Session, error) {
+	if !c.handshakeDone {
+		return nil, errors.New("ssl: handshake has not completed")
+	}
+	return c.result.Session, nil
+}
+
+// ReadData copies decrypted application data into p. Before the
+// handshake completes it advances the handshake instead (so a pure
+// read-driven event loop works); once established it decodes fed
+// records, returning ErrWouldBlock when no complete record is
+// buffered and io.EOF after the peer's close_notify. Post-handshake
+// handshake records (e.g. HelloRequest) are skipped; renegotiation is
+// not supported.
+func (c *NonBlockingConn) ReadData(p []byte) (int, error) {
+	if !c.handshakeDone {
+		if err := c.HandshakeStep(); err != nil {
+			return 0, err
+		}
+	}
+	for len(c.readBuf) == 0 {
+		if c.eof {
+			return 0, io.EOF
+		}
+		typ, payload, err := c.core.ReadRecord()
+		if err != nil {
+			if ae, ok := err.(*record.AlertError); ok &&
+				ae.Description == record.AlertCloseNotify {
+				c.eof = true
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		switch typ {
+		case record.TypeApplicationData:
+			// The payload aliases the core's incoming buffer, which the
+			// next Feed compacts — keep an owned copy in the stable
+			// backing array.
+			c.readArr = append(c.readArr[:0], payload...)
+			c.readBuf = c.readArr
+		case record.TypeHandshake:
+		default:
+			return 0, errors.New("ssl: unexpected record type " + typ.String())
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// WriteData seals p into application-data records in the outgoing
+// buffer (fragmenting as needed). It never blocks: the caller flushes
+// Outgoing to the transport at its own pace.
+func (c *NonBlockingConn) WriteData(p []byte) (int, error) {
+	if c.closed {
+		return 0, errors.New("ssl: connection closed")
+	}
+	if !c.handshakeDone {
+		if err := c.HandshakeStep(); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.core.WriteRecord(record.TypeApplicationData, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close queues close_notify (when established) and finalizes the
+// observability surfaces. The alert bytes land in Outgoing — flush
+// them before dropping the transport if a clean close matters.
+func (c *NonBlockingConn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.ensureRegistered()
+	c.lc.Draining()
+	if c.handshakeDone {
+		c.core.SendClose()
+	}
+	if c.telemetryID != 0 {
+		c.cfg.Telemetry.Event(c.telemetryID, telemetry.EventClose, "", "", 0)
+	}
+	if c.ct != nil {
+		outcome := c.traceOutcome
+		if outcome == "" {
+			outcome = "closed_before_handshake"
+		}
+		c.ct.Finish(outcome)
+	}
+	c.lc.Close()
+	c.lc = nil
+	return nil
+}

@@ -1,0 +1,164 @@
+package ssl
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"sslperf/internal/suite"
+)
+
+// These benchmarks quantify the two claims the sans-IO refactor
+// makes: the FSM costs no handshake throughput against the blocking
+// path (NonBlockHandshake vs GoroutinePerConnHandshake — the same
+// crypto either way, minus the goroutine hand-off), and an idle
+// event-loop connection costs a fraction of an idle goroutine-per-
+// conn connection (IdleConns/eventloop vs IdleConns/goroutine,
+// bytes/conn). The figures land in docs/BENCH_nonblock.json via make
+// bench and the nonblock shape in internal/baseline gates the
+// ordering plus the zero-alloc steady state.
+
+// BenchmarkNonBlockHandshake drives one full handshake per op by
+// shuttling the two sans-IO cores in memory — no goroutines, no pipe.
+func BenchmarkNonBlockHandshake(b *testing.B) {
+	ccfg, scfg := benchConfigs(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli, srv := nbEstablishedPair(b, ccfg, scfg)
+		cli.Close()
+		srv.Close()
+	}
+}
+
+// BenchmarkGoroutinePerConnHandshake is the blocking baseline: the
+// same handshake over the in-memory pipe with the client on its own
+// goroutine, as the goroutine-per-connection server runs it.
+func BenchmarkGoroutinePerConnHandshake(b *testing.B) {
+	ccfg, scfg := benchConfigs(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, st := Pipe()
+		client, server := ClientConn(ct, ccfg), ServerConn(st, scfg)
+		errs := make(chan error, 1)
+		go func() { errs <- client.Handshake() }()
+		if err := server.Handshake(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+		ct.Close()
+		st.Close()
+	}
+}
+
+// measureIdleBytes reports the resident heap+stack delta per idle
+// connection: establish b.N server-side connections, let the garbage
+// collector settle, and attribute what remains.
+func measureIdleBytes(b *testing.B, setup func(i int), cleanup func()) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < b.N; i++ {
+		setup(i)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	held := float64(after.HeapAlloc+after.StackInuse) -
+		float64(before.HeapAlloc+before.StackInuse)
+	b.ReportMetric(held/float64(b.N), "bytes/conn")
+	cleanup()
+}
+
+// BenchmarkIdleConns measures the memory an established-but-idle
+// server connection pins in each serving model. The eventloop flavor
+// holds only the NonBlockingConn core (buffers and session state);
+// the goroutine flavor parks a per-connection goroutine in Read after
+// handshaking on it — exactly what the goroutine server's serve()
+// leaves behind — so its stack growth from the handshake is charged
+// to the connection, as it is in production.
+func BenchmarkIdleConns(b *testing.B) {
+	id := identity(b)
+	b.Run("eventloop", func(b *testing.B) {
+		conns := make([]*NonBlockingConn, b.N)
+		measureIdleBytes(b, func(i int) {
+			ccfg := &Config{Rand: NewPRNG(uint64(i)*2 + 1), InsecureSkipVerify: true,
+				Suites: []suite.ID{suite.RSAWithRC4128MD5}}
+			scfg := &Config{Rand: NewPRNG(uint64(i)*2 + 2), Key: id.Key, CertDER: id.CertDER}
+			_, srv := nbEstablishedPair(b, ccfg, scfg)
+			conns[i] = srv
+		}, func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+	})
+	b.Run("goroutine", func(b *testing.B) {
+		clients := make([]*Conn, b.N)
+		transports := make([]io.ReadWriteCloser, b.N)
+		measureIdleBytes(b, func(i int) {
+			ct, st := Pipe()
+			ccfg := &Config{Rand: NewPRNG(uint64(i)*2 + 1), InsecureSkipVerify: true,
+				Suites: []suite.ID{suite.RSAWithRC4128MD5}}
+			scfg := &Config{Rand: NewPRNG(uint64(i)*2 + 2), Key: id.Key, CertDER: id.CertDER}
+			client, server := ClientConn(ct, ccfg), ServerConn(st, scfg)
+			done := make(chan error, 1)
+			go func() {
+				err := server.Handshake()
+				done <- err
+				if err == nil {
+					var one [1]byte
+					server.Read(one[:]) // park, as serve() does between requests
+				}
+			}()
+			if err := client.Handshake(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			clients[i] = client
+			transports[i] = st
+		}, func() {
+			for i := range clients {
+				transports[i].Close() // unparks the reader goroutine
+				clients[i].Close()
+			}
+		})
+	})
+}
+
+// BenchmarkNonBlockReadSteady is the steady-state data path the
+// zero-alloc gate in BENCH_nonblock.json pins: server seals, client
+// feeds and reads, all buffers reused.
+func BenchmarkNonBlockReadSteady(b *testing.B) {
+	id := identity(b)
+	cli, srv := nbEstablishedPair(b,
+		&Config{Rand: NewPRNG(7), InsecureSkipVerify: true, Suites: []suite.ID{suite.RSAWithRC4128MD5}},
+		&Config{Rand: NewPRNG(8), Key: id.Key, CertDER: id.CertDER},
+	)
+	payload := bytes.Repeat([]byte("z"), 1024)
+	buf := make([]byte, 2048)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.WriteData(payload); err != nil {
+			b.Fatal(err)
+		}
+		o := srv.Outgoing()
+		cli.Feed(o)
+		srv.ConsumeOutgoing(len(o))
+		for got := 0; got < len(payload); {
+			n, err := cli.ReadData(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += n
+		}
+	}
+}

@@ -10,6 +10,10 @@
 //
 //   - Pipe, ClientConn, ServerConn, Config — SSL connections over any
 //     transport (Pipe is the paper's in-memory "ssltest" setup).
+//   - NonBlockingClient, NonBlockingServer — the sans-IO form of the
+//     same connections, driven by Feed/HandshakeStep/Outgoing with
+//     ErrWouldBlock suspension (what `sslserver -eventloop` parks
+//     thousands of idle connections on without goroutine stacks).
 //   - NewIdentity — server key + self-signed certificate.
 //   - SuiteByName — the cipher suites ("DES-CBC3-SHA" is the paper's).
 //   - Experiments / ExperimentByID — the Table/Figure reproductions.
@@ -88,6 +92,22 @@ func Dial(network, addr string, cfg *Config) (*Conn, error) {
 
 // NewPRNG returns a deterministic randomness source.
 func NewPRNG(seed uint64) *PRNG { return ssl.NewPRNG(seed) }
+
+// NonBlockingConn is a sans-IO SSL connection: no transport, no
+// goroutines. Wire bytes go in through Feed, sealed bytes come out
+// through Outgoing/ConsumeOutgoing, and HandshakeStep/ReadData
+// return ErrWouldBlock instead of blocking when they need more input.
+type NonBlockingConn = ssl.NonBlockingConn
+
+// ErrWouldBlock is the sans-IO suspension sentinel: the call made all
+// the progress the fed bytes allow — feed more and call again.
+var ErrWouldBlock = ssl.ErrWouldBlock
+
+// NonBlockingClient returns the client end of a sans-IO connection.
+func NonBlockingClient(cfg *Config) *NonBlockingConn { return ssl.NonBlockingClient(cfg) }
+
+// NonBlockingServer returns the server end of a sans-IO connection.
+func NonBlockingServer(cfg *Config) *NonBlockingConn { return ssl.NonBlockingServer(cfg) }
 
 // ClientConn wraps transport as the client end of an SSL connection.
 func ClientConn(transport io.ReadWriteCloser, cfg *Config) *Conn {
